@@ -1,0 +1,80 @@
+"""Implementation-choice ablations called out in DESIGN.md section 5.
+
+Not paper artefacts, but benches for this reproduction's own design
+decisions:
+
+* hand-derived SUPA gradients vs. the generic autograd engine — the
+  same interaction loss computed both ways, measuring step overhead;
+* alias-table negative sampling vs. linear scan over a cumulative
+  distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Adam, Tensor
+from repro.autograd.functional import log_sigmoid
+from repro.core.interactor import interaction_loss, interaction_loss_backward
+from repro.utils.alias import AliasTable
+from repro.utils.rng import new_rng
+
+DIM = 64
+RNG = np.random.default_rng(0)
+H_U, C_U = RNG.normal(size=DIM), RNG.normal(size=DIM)
+H_V, C_V = RNG.normal(size=DIM), RNG.normal(size=DIM)
+
+
+def test_hand_gradient_step(benchmark):
+    """Analytic forward+backward of the interaction loss."""
+
+    def step():
+        fwd = interaction_loss(H_U, C_U, H_V, C_V)
+        return interaction_loss_backward(fwd)
+
+    grads = benchmark(step)
+    assert len(grads) == 4
+
+
+def test_autograd_gradient_step(benchmark):
+    """The same loss through the tape — the overhead SUPA avoids."""
+
+    def step():
+        h_u = Tensor(H_U, requires_grad=True)
+        c_u = Tensor(C_U, requires_grad=True)
+        h_v = Tensor(H_V, requires_grad=True)
+        c_v = Tensor(C_V, requires_grad=True)
+        h_r_u = (h_u + c_u) * 0.5
+        h_r_v = (h_v + c_v) * 0.5
+        loss = -log_sigmoid(h_r_u @ h_r_v)
+        loss.backward()
+        return h_u.grad
+
+    grad = benchmark(step)
+    fwd = interaction_loss(H_U, C_U, H_V, C_V)
+    expected = interaction_loss_backward(fwd)[0]
+    assert np.allclose(grad, expected)
+
+
+WEIGHTS = np.random.default_rng(1).random(5000) ** 2
+
+
+def test_alias_sampling(benchmark):
+    table = AliasTable(WEIGHTS)
+    rng = new_rng(0)
+    out = benchmark(lambda: table.sample(rng, size=10))
+    assert len(out) == 10
+
+
+def test_linear_scan_sampling(benchmark):
+    """The naive alternative the alias table replaces."""
+    probs = WEIGHTS / WEIGHTS.sum()
+    cdf = np.cumsum(probs)
+    rng = new_rng(0)
+
+    def scan():
+        return np.searchsorted(cdf, rng.random(10))
+
+    out = benchmark(scan)
+    assert len(out) == 10

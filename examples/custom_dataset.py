@@ -1,0 +1,105 @@
+"""Bring your own interaction log: schema, metapaths, TSV edges.
+
+Shows the full path a downstream user takes to run SUPA on their own
+data: declare the node/edge type universe, lay out node ids, write and
+reload a TSV edge list, declare multiplex metapath schemas, train, and
+query — no synthetic generator involved.
+
+Run:  python examples/custom_dataset.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.core import SUPA, SUPAConfig
+from repro.datasets.loaders import dataset_from_edges, load_edge_tsv, save_edge_tsv
+from repro.graph.metapath import MultiplexMetapath
+from repro.graph.schema import GraphSchema
+from repro.graph.streams import EdgeStream, StreamEdge
+
+
+def main() -> None:
+    # 1. The type universe: readers borrow and review books.
+    schema = GraphSchema.create(
+        node_types=["reader", "book"],
+        edge_types=["borrow", "review"],
+        endpoints={
+            "borrow": ("reader", "book"),
+            "review": ("reader", "book"),
+        },
+    )
+
+    # 2. Node-id layout: readers get ids 0..4, books 5..12.
+    nodes_by_type = [("reader", 5), ("book", 8)]
+
+    # 3. An interaction log.  In practice this comes from your platform;
+    #    here we write it to TSV and read it back to show the format.
+    raw_events = [
+        # reader, book, behaviour, timestamp
+        (0, 5, "borrow", 1.0),
+        (0, 6, "borrow", 2.0),
+        (0, 6, "review", 2.5),
+        (1, 5, "borrow", 3.0),
+        (1, 7, "borrow", 4.0),
+        (2, 6, "borrow", 5.0),
+        (2, 8, "borrow", 6.0),
+        (2, 8, "review", 6.5),
+        (3, 9, "borrow", 7.0),
+        (3, 5, "borrow", 8.0),
+        (4, 10, "borrow", 9.0),
+        (1, 6, "borrow", 10.0),
+        (0, 7, "borrow", 11.0),
+        (2, 5, "borrow", 12.0),
+    ]
+    stream = EdgeStream([StreamEdge(*e) for e in raw_events])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "library.tsv")
+        save_edge_tsv(stream, path)
+        print(f"wrote {len(stream)} edges to {path}")
+        stream = load_edge_tsv(path)
+
+    # 4. Multiplex metapath schemas (Definition 3): readers connected by
+    #    co-borrowed/co-reviewed books, and the book-side mirror.
+    behaviours = ["borrow", "review"]
+    metapaths = [
+        MultiplexMetapath.create(
+            ["reader", "book", "reader"], [behaviours, behaviours]
+        ),
+        MultiplexMetapath.create(
+            ["book", "reader", "book"], [behaviours, behaviours]
+        ),
+    ]
+
+    dataset = dataset_from_edges(
+        "library", schema, nodes_by_type, stream, metapaths
+    )
+    print(dataset.describe())
+
+    # 5. Train SUPA on the log.  A log this tiny needs several epochs
+    #    (use InsLearnTrainer for the single-pass workflow on real logs).
+    from repro.core.inslearn import train_conventional
+
+    model = SUPA.for_dataset(dataset, SUPAConfig(dim=16, num_walks=3, walk_length=3))
+    report = train_conventional(model, stream, epochs=15)
+    print(f"final mean per-edge loss: {report.batches[0].mean_loss:.4f}")
+
+    # 6. Recommend a next book for reader 0 (who borrowed books 5, 6, 7).
+    books = dataset.nodes_of_type("book")
+    now = float(stream.timestamps().max())
+    top = model.recommend(0, books, "borrow", now, k=3)
+    print(f"reader 0 should borrow next: {list(top)}")
+
+    # Readers 0 and 1 share two books; their embeddings should be closer
+    # than readers with no overlap.
+    emb = model.final_embeddings([0, 1, 4], "borrow", now)
+    sim_01 = emb[0] @ emb[1] / (np.linalg.norm(emb[0]) * np.linalg.norm(emb[1]))
+    sim_04 = emb[0] @ emb[2] / (np.linalg.norm(emb[0]) * np.linalg.norm(emb[2]))
+    print(f"cosine(reader0, reader1) = {sim_01:.3f}  (two shared books)")
+    print(f"cosine(reader0, reader4) = {sim_04:.3f}  (nothing shared)")
+
+
+if __name__ == "__main__":
+    main()

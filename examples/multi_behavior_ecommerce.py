@@ -1,0 +1,96 @@
+"""Multi-behaviour e-commerce: exploiting weak signals for strong ones.
+
+On a Taobao-like log (page views, carts, favourites, purchases) the
+interesting target is `buy` — the rarest behaviour.  SUPA's
+relation-specific context embeddings let abundant weak behaviours
+(page views) inform purchase recommendations.  We compare SUPA against
+LightGCN (single collapsed graph) and MB-GMN (multi-behaviour baseline)
+on buy-only ranking, and show how the same user gets different
+rankings under different relations.
+
+Run:  python examples/multi_behavior_ecommerce.py
+"""
+
+import numpy as np
+
+from repro.baselines import make_baseline
+from repro.core import InsLearnConfig, SUPAConfig
+from repro.datasets import load_dataset
+from repro.eval import RankingEvaluator
+from repro.graph.streams import EdgeStream
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    dataset = load_dataset("taobao", scale=0.5, seed=0)
+    train, valid, test = dataset.split()
+
+    buy_queries = [
+        q for q in dataset.ranking_queries(test) if q.edge_type == "buy"
+    ]
+    print(f"{len(buy_queries)} held-out purchases to predict\n")
+    evaluator = RankingEvaluator(hit_ks=(20, 50), ndcg_k=10, max_queries=150)
+
+    rows = []
+    models = {}
+    for name in ("LightGCN", "MB-GMN", "SUPA"):
+        kwargs = {}
+        if name == "SUPA":
+            kwargs = dict(
+                config=SUPAConfig(dim=32, num_walks=4, walk_length=3),
+                train_config=InsLearnConfig(
+                    batch_size=1024,
+                    max_iterations=8,
+                    validation_interval=2,
+                    validation_size=100,
+                    patience=2,
+                ),
+            )
+        model = make_baseline(name, dataset, dim=32, **kwargs)
+        model.fit(train)
+        models[name] = model
+        result = evaluator.evaluate(model, buy_queries)
+        rows.append([name, result["H@20"], result["H@50"], result["MRR"]])
+
+    print(
+        format_table(
+            ["method", "H@20", "H@50", "MRR"],
+            rows,
+            title="Purchase (buy) prediction from multi-behaviour history",
+            highlight_best=[1, 2, 3],
+        )
+    )
+
+    # Relation-specific rankings: the same user, different intents.
+    supa = models["SUPA"].model
+    user = int(buy_queries[0].node)
+    items = dataset.nodes_of_type("item")
+    now = float(train.timestamps().max())
+    print(f"\nuser {user}: top-5 per behaviour (relation-specific embeddings)")
+    for behaviour in dataset.schema.edge_types:
+        top = supa.recommend(user, items, behaviour, now, k=5)
+        print(f"  {behaviour:>10}: {list(top)}")
+
+    # How much do weak behaviours help?  Retrain SUPA on buy edges only.
+    buy_only = EdgeStream([e for e in train if e.edge_type == "buy"])
+    lonely = make_baseline(
+        "SUPA",
+        dataset,
+        dim=32,
+        config=SUPAConfig(dim=32, num_walks=4, walk_length=3),
+        train_config=InsLearnConfig(
+            batch_size=1024, max_iterations=8, validation_interval=2,
+            validation_size=50, patience=2,
+        ),
+    )
+    lonely.fit(buy_only)
+    r_all = evaluator.evaluate(models["SUPA"], buy_queries)
+    r_buy = evaluator.evaluate(lonely, buy_queries)
+    print(
+        f"\nSUPA trained on all behaviours: MRR={r_all['MRR']:.4f}  |  "
+        f"buy edges only ({len(buy_only)} edges): MRR={r_buy['MRR']:.4f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: train SUPA on a dynamic multiplex graph and recommend.
+
+Steps: load a Taobao-like multi-behaviour dataset, train SUPA with the
+single-pass InsLearn workflow, evaluate full-catalogue ranking on the
+held-out future, and produce top-K recommendations for one user.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.baselines import make_baseline
+from repro.core import InsLearnConfig, SUPAConfig
+from repro.datasets import load_dataset
+from repro.eval import RankingEvaluator
+
+
+def main() -> None:
+    # 1. A dynamic multiplex heterogeneous graph dataset: users x items,
+    #    four behaviour types (page_view / cart / favorite / buy).
+    dataset = load_dataset("taobao", scale=0.5, seed=0)
+    print(dataset.describe())
+
+    # 2. Chronological 80% / 1% / 19% split (the paper's protocol).
+    train, valid, test = dataset.split()
+    print(f"train={len(train)}  valid={len(valid)}  test={len(test)} edges")
+
+    # 3. SUPA + InsLearn.  The model processes each edge once per
+    #    iteration: sample an influenced subgraph, update the two
+    #    interactive nodes, propagate the interaction outward.
+    model = make_baseline(
+        "SUPA",
+        dataset,
+        dim=32,
+        config=SUPAConfig(dim=32, num_walks=4, walk_length=3),
+        train_config=InsLearnConfig(
+            batch_size=1024,
+            max_iterations=8,
+            validation_interval=2,
+            validation_size=100,
+            patience=2,
+        ),
+    )
+    model.fit(train)
+
+    # 4. Full-catalogue ranking on the held-out future.
+    evaluator = RankingEvaluator(hit_ks=(20, 50), ndcg_k=10, max_queries=200)
+    result = evaluator.evaluate(model, dataset.ranking_queries(test))
+    print("test metrics:", {k: round(v, 4) for k, v in result.metrics.items()})
+
+    # 5. Top-5 'buy' recommendations for one user at the end of time.
+    user = test[0].u if dataset.node_type_of(test[0].u) == "user" else test[0].v
+    items = dataset.nodes_of_type("item")
+    now = float(train.timestamps().max())
+    top5 = model.model.recommend(user, items, "buy", now, k=5)
+    print(f"top-5 'buy' recommendations for user {user}: {list(top5)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Online streaming recommendation on a short-video platform.
+
+Models the paper's motivating scenario (Figure 1): a Kuaishou-like
+platform where videos are uploaded continuously, user interests drift,
+and the recommender must stay fresh *without retraining*.  SUPA
+processes edges as they arrive — each new interaction instantly updates
+the two interactive nodes and its sampled neighbourhood — and we probe
+ranking quality on the upcoming window after every chunk.
+
+Run:  python examples/streaming_recommendation.py
+"""
+
+import numpy as np
+
+from repro.core import SUPA, SUPAConfig
+from repro.datasets import load_dataset
+from repro.eval import RankingEvaluator
+
+
+def main() -> None:
+    dataset = load_dataset("kuaishou", scale=0.3, seed=0)
+    print(dataset.describe())
+
+    model = SUPA.for_dataset(dataset, SUPAConfig(dim=32, num_walks=4, walk_length=3))
+    evaluator = RankingEvaluator(hit_ks=(20, 50), ndcg_k=10, max_queries=80)
+
+    chunks = dataset.stream.equal_slices(8)
+    print(f"\nstreaming {len(dataset.stream)} interactions in {len(chunks)} chunks")
+    print(f"{'chunk':>5} | {'edges':>6} | {'loss':>8} | {'next-window H@50':>16} | {'MRR':>7}")
+
+    for i, chunk in enumerate(chunks[:-1]):
+        # Online learning: one pass over the arriving edges, updating
+        # representations per interaction (no batching, no epochs).
+        mean_loss = model.process_stream(list(chunk))
+        # Probe: how well do the *current* embeddings rank the very next
+        # window of interactions (excluding upload edges)?
+        probe = [
+            q
+            for q in dataset.ranking_queries(chunks[i + 1])
+            if q.edge_type != "upload"
+        ]
+        result = evaluator.evaluate(model, probe)
+        print(
+            f"{i:>5} | {len(chunk):>6} | {mean_loss:>8.4f} | "
+            f"{result['H@50']:>16.4f} | {result['MRR']:>7.4f}"
+        )
+
+    # Show instant reaction to an interest burst (the paper's "Bob
+    # drifts from comedy to sports"): the user binge-watches a video
+    # they never touched; its rank jumps without any retraining.
+    last_t = float(dataset.stream.timestamps().max())
+    user = dataset.nodes_of_type("user")[0]
+    videos = dataset.nodes_of_type("video")
+    scores = model.score(user, videos, "watch", last_t)
+    cold_video = int(videos[np.argsort(scores)[len(videos) // 2]])
+    position = list(videos).index(cold_video)
+    before_rank = int(np.sum(scores > scores[position])) + 1
+
+    for burst in range(20):
+        model.process_edge(user, cold_video, "watch", last_t + 1.0 + burst * 0.5)
+    scores_after = model.score(user, videos, "watch", last_t + 11.0)
+    after_rank = int(np.sum(scores_after > scores_after[position])) + 1
+    print(
+        f"\ninstant update: video {cold_video} moved from rank {before_rank} "
+        f"to rank {after_rank} for user {user} after a 20-event watch binge "
+        f"(no retraining)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""A reverse-mode automatic differentiation engine over numpy arrays.
+
+This package substitutes for the GPU deep-learning framework the paper's
+authors used.  It provides exactly what the sixteen baselines and the
+gradient cross-checks need: a :class:`Tensor` with a dynamic tape,
+differentiable ops (matmul, elementwise math, reductions, embedding
+gather/scatter), neural functionals, parameter modules, initialisers and
+SGD/Adam optimisers.
+"""
+
+from repro.autograd import functional
+from repro.autograd.init import normal_, uniform_, xavier_uniform
+from repro.autograd.module import Module, Parameter
+from repro.autograd.optim import SGD, Adam, Optimizer
+from repro.autograd.tensor import Tensor, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "Module",
+    "Parameter",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "normal_",
+    "uniform_",
+    "xavier_uniform",
+]

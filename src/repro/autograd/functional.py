@@ -1,0 +1,129 @@
+"""Differentiable neural functionals built on :class:`~repro.autograd.tensor.Tensor`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def _stable_sigmoid(z: np.ndarray) -> np.ndarray:
+    """``exp(min(z,0)) / (1 + exp(-|z|))`` — never overflows."""
+    return np.exp(np.minimum(z, 0.0)) / (1.0 + np.exp(-np.abs(z)))
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Numerically stable logistic sigmoid."""
+    data = _stable_sigmoid(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * data * (1.0 - data))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def log_sigmoid(x: Tensor) -> Tensor:
+    """``log(sigmoid(x)) = min(x, 0) - log1p(exp(-|x|))`` — stable."""
+    z = x.data
+    data = np.minimum(z, 0.0) - np.log1p(np.exp(-np.abs(z)))
+    sig = _stable_sigmoid(z)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * (1.0 - sig))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    data = np.tanh(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * (1.0 - data**2))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    data = np.maximum(x.data, 0.0)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * (x.data > 0))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def leaky_relu(x: Tensor, slope: float = 0.2) -> Tensor:
+    data = np.where(x.data > 0, x.data, slope * x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * np.where(x.data > 0, 1.0, slope))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = (grad * data).sum(axis=axis, keepdims=True)
+        x._accumulate(data * (grad - dot))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def embedding(table: Tensor, indices) -> Tensor:
+    """Row lookup into an embedding ``table`` with scatter-add gradient."""
+    return table.gather_rows(indices)
+
+
+def dot_rows(a: Tensor, b: Tensor) -> Tensor:
+    """Row-wise dot products of two ``(n, d)`` tensors -> ``(n,)``."""
+    return (a * b).sum(axis=-1)
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    target = Tensor._lift(target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def bpr_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
+    """Bayesian Personalised Ranking loss ``-mean log sigma(pos - neg)``.
+
+    The standard pairwise objective of the GNN recommendation baselines
+    (NGCF, LightGCN, MB-GMN, ...).
+    """
+    return -log_sigmoid(pos_scores - neg_scores).mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, labels) -> Tensor:
+    """Stable BCE on raw scores: ``mean(softplus(x) - x * y)``."""
+    labels = np.asarray(labels, dtype=np.float64)
+    pos = log_sigmoid(logits)
+    neg = log_sigmoid(-logits)
+    loss = pos * labels + neg * (1.0 - labels)
+    return -loss.mean()
+
+
+def dropout(x: Tensor, p: float, rng=None, training: bool = True) -> Tensor:
+    """Inverted dropout: zero each entry with probability ``p`` and scale
+    survivors by ``1 / (1 - p)``.  Identity when not training."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must lie in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x * 1.0
+    from repro.utils.rng import new_rng
+
+    rng = new_rng(rng)
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def layer_norm(x: Tensor, eps: float = 1e-5) -> Tensor:
+    """Feature-axis layer normalisation (no affine parameters)."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    variance = (centered * centered).mean(axis=-1, keepdims=True)
+    return centered / (variance + eps).sqrt()

@@ -1,0 +1,87 @@
+"""Lightweight parameter containers for the baseline models.
+
+A :class:`Module` recursively collects :class:`Parameter` attributes so an
+optimiser can be constructed from ``module.parameters()``; ``state_dict``
+/ ``load_state_dict`` give the checkpoint/restore that InsLearn-style
+best-model selection needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is always gradient-tracked and owned by a module."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class collecting parameters from attributes (and sub-modules)."""
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_parameters(self) -> Iterator[Tuple[str, Parameter]]:
+        seen = set()
+        for name, value in sorted(vars(self).items()):
+            if isinstance(value, Parameter) and id(value) not in seen:
+                seen.add(id(value))
+                yield name, value
+            elif isinstance(value, Module):
+                for sub_name, p in value.named_parameters():
+                    if id(p) not in seen:
+                        seen.add(id(p))
+                        yield f"{name}.{sub_name}", p
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter) and id(item) not in seen:
+                        seen.add(id(item))
+                        yield f"{name}.{i}", item
+                    elif isinstance(item, Module):
+                        for sub_name, p in item.named_parameters():
+                            if id(p) not in seen:
+                                seen.add(id(p))
+                                yield f"{name}.{i}.{sub_name}", p
+            elif isinstance(value, dict):
+                for key, item in value.items():
+                    if isinstance(item, Parameter) and id(item) not in seen:
+                        seen.add(id(item))
+                        yield f"{name}[{key}]", item
+                    elif isinstance(item, Module):
+                        for sub_name, p in item.named_parameters():
+                            if id(p) not in seen:
+                                seen.add(id(p))
+                                yield f"{name}[{key}].{sub_name}", p
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copies of all parameter arrays, keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore parameter values from :meth:`state_dict` output."""
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, value in state.items():
+            if params[name].data.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{params[name].data.shape} vs {value.shape}"
+                )
+            params[name].data[...] = value

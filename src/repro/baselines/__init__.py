@@ -1,0 +1,26 @@
+"""The sixteen baseline methods of the paper's Section IV-B.
+
+Three families, each re-implemented from scratch on the shared
+substrates (``repro.graph`` for sampling, ``repro.autograd`` for the
+neural models):
+
+* static network embedding — DeepWalk, LINE, node2vec, GATNE;
+* recommendation GNNs — NGCF, LightGCN, MATN, MB-GMN, HybridGNN, MeLU;
+* dynamic network embedding — NetWalk, DyGNN, EvolveGCN, TGAT, DyHNE,
+  DyHATR.
+
+Every model implements the same :class:`~repro.baselines.base.BaselineModel`
+API (``fit`` / ``partial_fit`` / ``score``), so the benchmark harnesses
+treat them interchangeably with SUPA.
+"""
+
+from repro.baselines.base import BaselineModel, EmbeddingModel
+from repro.baselines.registry import BASELINE_BUILDERS, available_baselines, make_baseline
+
+__all__ = [
+    "BaselineModel",
+    "EmbeddingModel",
+    "BASELINE_BUILDERS",
+    "available_baselines",
+    "make_baseline",
+]

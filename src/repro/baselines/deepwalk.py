@@ -1,0 +1,58 @@
+"""DeepWalk (Perozzi et al., KDD 2014).
+
+Uniform truncated random walks over the (type-blind, time-blind) graph
+feed a skip-gram model.  The paper groups it under static homogeneous
+embedding: it ignores edge types and timestamps entirely, but — not
+being a neighbour-aggregation method — it is free of neighbourhood
+disturbance, which is why it stays competitive in Table V.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import EmbeddingModel
+from repro.baselines.sgns import SkipGramTrainer
+from repro.datasets.base import Dataset
+from repro.graph.sampling import random_walk_corpus
+from repro.graph.streams import EdgeStream
+
+
+class DeepWalk(EmbeddingModel):
+    """Random-walk + skip-gram embeddings of the collapsed static graph."""
+
+    name = "DeepWalk"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        dim: int = 32,
+        num_walks: int = 5,
+        walk_length: int = 8,
+        window: int = 3,
+        negatives: int = 5,
+        epochs: int = 2,
+        seed: int = 0,
+    ):
+        super().__init__(dataset, dim=dim, seed=seed)
+        self.num_walks = num_walks
+        self.walk_length = walk_length
+        self.window = window
+        self.negatives = negatives
+        self.epochs = epochs
+
+    def fit(self, stream: EdgeStream) -> None:
+        graph = self.dataset.build_graph(stream)
+        corpus = random_walk_corpus(
+            graph, self.num_walks, self.walk_length, rng=self.rng
+        )
+        trainer = SkipGramTrainer(
+            num_nodes=graph.num_nodes,
+            dim=self.dim,
+            negatives=self.negatives,
+            window=self.window,
+            noise_weights=graph.degrees().astype(np.float64) ** 0.75,
+            rng=self.rng,
+        )
+        trainer.train_corpus(corpus, epochs=self.epochs)
+        self.embeddings = trainer.embeddings()

@@ -1,0 +1,113 @@
+"""MeLU (Lee et al., KDD 2019), simplified.
+
+Meta-learned user preference estimation: a globally shared prior is
+adapted to each user with a few gradient steps on that user's own
+interactions — the MAML recipe that gives MeLU its cold-start strength.
+
+Simplification vs. the original: with no content features in these
+datasets, the "decision layers" become a per-user preference vector
+initialised at the learned global prior and locally adapted by ``k``
+BPR steps over the user's history at scoring time.  The two defining
+properties — shared prior + fast local adaptation — are kept.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.baselines.base import BaselineModel, bipartite_pairs
+from repro.datasets.base import Dataset
+from repro.graph.streams import EdgeStream
+from repro.utils.rng import new_rng
+
+
+class MeLU(BaselineModel):
+    """Global prior + per-user fast adaptation."""
+
+    name = "MeLU"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        dim: int = 32,
+        global_steps: int = 2000,
+        local_steps: int = 5,
+        local_lr: float = 0.1,
+        lr: float = 0.05,
+        negatives: int = 3,
+        seed: int = 0,
+    ):
+        super().__init__(dataset, dim=dim, seed=seed)
+        self.global_steps = global_steps
+        self.local_steps = local_steps
+        self.local_lr = local_lr
+        self.lr = lr
+        self.negatives = negatives
+        self._item_emb: np.ndarray = None
+        self._prior: np.ndarray = None
+        self._history: Dict[int, List[int]] = {}
+        self._adapted: Dict[int, np.ndarray] = {}
+
+    def fit(self, stream: EdgeStream) -> None:
+        rng = new_rng(self.seed)
+        n = self.dataset.num_nodes
+        self._item_emb = rng.normal(0.0, 0.1, size=(n, self.dim))
+        self._prior = rng.normal(0.0, 0.1, size=self.dim)
+        self._history = {}
+        self._adapted = {}
+
+        pairs_by_rel = bipartite_pairs(self.dataset, stream)
+        all_pairs = (
+            np.concatenate(list(pairs_by_rel.values()), axis=0)
+            if pairs_by_rel
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        if all_pairs.shape[0] == 0:
+            return
+        for q, pos in all_pairs:
+            self._history.setdefault(int(q), []).append(int(pos))
+
+        # Global phase: learn item embeddings and the user prior.  The
+        # prior is trained so that a *freshly adapted* user does well,
+        # approximated by updating prior and items jointly on BPR.
+        idx = rng.integers(all_pairs.shape[0], size=self.global_steps)
+        for step, i in enumerate(idx):
+            lr = self.lr * max(0.05, 1.0 - step / self.global_steps)
+            pos = int(all_pairs[i, 1])
+            negs = rng.integers(n, size=self.negatives)
+            user_vec = self._prior
+            for neg in negs:
+                s = float(user_vec @ (self._item_emb[pos] - self._item_emb[neg]))
+                coeff = 1.0 / (1.0 + np.exp(np.clip(s, -500, 500)))  # sigma(-s)
+                grad_u = -coeff * (self._item_emb[pos] - self._item_emb[neg])
+                self._item_emb[pos] += lr * coeff * user_vec
+                self._item_emb[neg] -= lr * coeff * user_vec
+                self._prior -= lr * grad_u
+
+    def _adapt(self, user: int) -> np.ndarray:
+        """Local phase: a few gradient steps on the user's history."""
+        if user in self._adapted:
+            return self._adapted[user]
+        vec = self._prior.copy()
+        history = self._history.get(user, [])
+        if history:
+            rng = new_rng(self.seed + user)
+            n = self._item_emb.shape[0]
+            for _ in range(self.local_steps):
+                pos = history[int(rng.integers(len(history)))]
+                neg = int(rng.integers(n))
+                s = float(vec @ (self._item_emb[pos] - self._item_emb[neg]))
+                coeff = 1.0 / (1.0 + np.exp(np.clip(s, -500, 500)))
+                vec += self.local_lr * coeff * (self._item_emb[pos] - self._item_emb[neg])
+        self._adapted[user] = vec
+        return vec
+
+    def score(
+        self, node: int, candidates: np.ndarray, edge_type: str, t: float
+    ) -> np.ndarray:
+        if self._item_emb is None:
+            raise RuntimeError("MeLU.score() called before fit()")
+        user_vec = self._adapt(int(node))
+        return self._item_emb[np.asarray(candidates, dtype=np.int64)] @ user_vec

@@ -1,0 +1,99 @@
+"""node2vec (Grover & Leskovec, KDD 2016).
+
+DeepWalk with second-order biased walks: the return parameter ``p`` and
+in-out parameter ``q`` reshape the exploration between BFS-like and
+DFS-like neighbourhoods.  The bias is computed on the fly per step
+(alias pre-computation per (prev, cur) pair does not pay off at this
+graph scale).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.baselines.base import EmbeddingModel
+from repro.baselines.sgns import SkipGramTrainer
+from repro.datasets.base import Dataset
+from repro.graph.dmhg import DMHG
+from repro.graph.streams import EdgeStream
+from repro.utils.rng import new_rng
+
+
+def biased_walk(
+    graph: DMHG, start: int, length: int, p: float, q: float, rng
+) -> List[int]:
+    """One node2vec walk: bias 1/p to return, 1 to triangle-close, 1/q out."""
+    walk = [start]
+    prev = None
+    current = start
+    for _ in range(length - 1):
+        nbrs = graph.neighbors(current)
+        if not nbrs:
+            break
+        nodes = np.asarray([n for n, _, _, _ in nbrs], dtype=np.int64)
+        if prev is None:
+            weights = np.ones(nodes.size)
+        else:
+            prev_nbrs = {n for n, _, _, _ in graph.neighbors(prev)}
+            weights = np.where(
+                nodes == prev,
+                1.0 / p,
+                np.asarray([1.0 if n in prev_nbrs else 1.0 / q for n in nodes]),
+            )
+        weights = weights / weights.sum()
+        nxt = int(nodes[rng.choice(nodes.size, p=weights)])
+        walk.append(nxt)
+        prev, current = current, nxt
+    return walk
+
+
+class Node2Vec(EmbeddingModel):
+    """Second-order biased walks + skip-gram."""
+
+    name = "node2vec"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        dim: int = 32,
+        num_walks: int = 5,
+        walk_length: int = 8,
+        window: int = 3,
+        negatives: int = 5,
+        epochs: int = 2,
+        p: float = 1.0,
+        q: float = 0.5,
+        seed: int = 0,
+    ):
+        super().__init__(dataset, dim=dim, seed=seed)
+        if p <= 0 or q <= 0:
+            raise ValueError(f"p and q must be positive, got p={p}, q={q}")
+        self.num_walks = num_walks
+        self.walk_length = walk_length
+        self.window = window
+        self.negatives = negatives
+        self.epochs = epochs
+        self.p = p
+        self.q = q
+
+    def fit(self, stream: EdgeStream) -> None:
+        graph = self.dataset.build_graph(stream)
+        rng = new_rng(self.seed)
+        corpus = []
+        for start in range(graph.num_nodes):
+            for _ in range(self.num_walks):
+                walk = biased_walk(graph, start, self.walk_length, self.p, self.q, rng)
+                if len(walk) > 1:
+                    corpus.append(walk)
+        trainer = SkipGramTrainer(
+            num_nodes=graph.num_nodes,
+            dim=self.dim,
+            negatives=self.negatives,
+            window=self.window,
+            noise_weights=graph.degrees().astype(np.float64) ** 0.75,
+            rng=rng,
+        )
+        trainer.train_corpus(corpus, epochs=self.epochs)
+        self.embeddings = trainer.embeddings()

@@ -1,0 +1,79 @@
+"""Name -> class registry covering the paper's full method roster.
+
+Keys match the row labels of Tables V/VI.  ``make_baseline`` constructs a
+model for a dataset; extra keyword arguments flow to the constructor so
+harnesses can shrink step counts for quick runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.baselines.base import BaselineModel
+from repro.baselines.deepwalk import DeepWalk
+from repro.baselines.dygnn import DyGNN
+from repro.baselines.dyhatr import DyHATR
+from repro.baselines.dyhne import DyHNE
+from repro.baselines.evolvegcn import EvolveGCN
+from repro.baselines.gatne import GATNE
+from repro.baselines.hybridgnn import HybridGNN
+from repro.baselines.lightgcn import LightGCN
+from repro.baselines.line import LINE
+from repro.baselines.matn import MATN
+from repro.baselines.mbgmn import MBGMN
+from repro.baselines.melu import MeLU
+from repro.baselines.netwalk import NetWalk
+from repro.baselines.ngcf import NGCF
+from repro.baselines.node2vec import Node2Vec
+from repro.baselines.supa_adapter import SUPARecommender
+from repro.baselines.tgat import TGAT
+from repro.datasets.base import Dataset
+
+BASELINE_BUILDERS: Dict[str, Callable[..., BaselineModel]] = {
+    # static network embedding
+    "DeepWalk": DeepWalk,
+    "LINE": LINE,
+    "node2vec": Node2Vec,
+    "GATNE": GATNE,
+    # recommendation methods
+    "NGCF": NGCF,
+    "LightGCN": LightGCN,
+    "MATN": MATN,
+    "MB-GMN": MBGMN,
+    "HybridGNN": HybridGNN,
+    "MeLU": MeLU,
+    # dynamic network embedding
+    "NetWalk": NetWalk,
+    "DyGNN": DyGNN,
+    "EvolveGCN": EvolveGCN,
+    "TGAT": TGAT,
+    "DyHNE": DyHNE,
+    "DyHATR": DyHATR,
+    # ours
+    "SUPA": SUPARecommender,
+}
+
+#: the six strong baselines the paper carries into Sections IV-E/IV-F
+STRONG_BASELINES: List[str] = [
+    "node2vec",
+    "GATNE",
+    "LightGCN",
+    "MB-GMN",
+    "HybridGNN",
+    "EvolveGCN",
+]
+
+
+def available_baselines() -> List[str]:
+    return sorted(BASELINE_BUILDERS)
+
+
+def make_baseline(name: str, dataset: Dataset, **kwargs) -> BaselineModel:
+    """Instantiate baseline ``name`` for ``dataset``."""
+    try:
+        builder = BASELINE_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown baseline {name!r}; available: {available_baselines()}"
+        ) from None
+    return builder(dataset, **kwargs)

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``datasets`` — list the built-in dataset equivalents with their
+  Table III statistics.
+* ``train`` — fit a method on a dataset with the link-prediction
+  protocol and print its metrics.
+* ``compare`` — fit several methods on one dataset and print a ranked
+  comparison table.
+* ``mine`` — mine multiplex metapath schemas from a dataset prefix.
+* ``export`` — write a generated dataset's edge stream to TSV.
+
+Every command is deterministic for a fixed ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines import available_baselines, make_baseline
+from repro.core import InsLearnConfig, SUPAConfig
+from repro.datasets import DATASET_BUILDERS, load_dataset
+from repro.datasets.loaders import save_edge_tsv
+from repro.eval import LinkPredictionProtocol
+from repro.graph.mining import mine_metapaths
+from repro.utils.tables import format_table
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        required=True,
+        choices=sorted(DATASET_BUILDERS),
+        help="built-in dataset equivalent",
+    )
+    parser.add_argument("--scale", type=float, default=0.5, help="dataset scale")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _build(name: str, dataset, dim: int, seed: int):
+    if name == "SUPA":
+        return make_baseline(
+            "SUPA",
+            dataset,
+            dim=dim,
+            seed=seed,
+            config=SUPAConfig(dim=dim, num_walks=4, walk_length=3, seed=seed),
+            train_config=InsLearnConfig(
+                batch_size=1024,
+                max_iterations=8,
+                validation_interval=2,
+                validation_size=100,
+                patience=2,
+                seed=seed,
+            ),
+        )
+    return make_baseline(name, dataset, dim=dim, seed=seed)
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(DATASET_BUILDERS):
+        ds = load_dataset(name, scale=args.scale, seed=args.seed)
+        stats = ds.statistics()
+        rows.append(
+            [name, stats["|V|"], stats["|E|"], stats["|O|"], stats["|R|"], stats["|T|"]]
+        )
+    print(
+        format_table(
+            ["dataset", "|V|", "|E|", "|O|", "|R|", "|T|"],
+            rows,
+            title=f"built-in dataset equivalents (scale={args.scale})",
+        )
+    )
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    print(dataset.describe())
+    protocol = LinkPredictionProtocol(max_queries=args.max_queries, seed=args.seed)
+    result = protocol.run(
+        lambda ds: _build(args.method, ds, args.dim, args.seed), dataset
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            sorted(result.metrics.items()),
+            title=f"{args.method} on {args.dataset} "
+            f"(fit {result.fit_seconds:.1f}s, {result.evaluation.num_queries} queries)",
+        )
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    protocol = LinkPredictionProtocol(max_queries=args.max_queries, seed=args.seed)
+    rows = []
+    for name in args.methods:
+        result = protocol.run(
+            lambda ds, n=name: _build(n, ds, args.dim, args.seed), dataset
+        )
+        rows.append(
+            [
+                name,
+                result["H@20"],
+                result["H@50"],
+                result["MRR"],
+                result.fit_seconds,
+            ]
+        )
+    rows.sort(key=lambda r: -r[3])
+    print(
+        format_table(
+            ["method", "H@20", "H@50", "MRR", "fit s"],
+            rows,
+            title=f"link prediction on {args.dataset} (scale={args.scale})",
+            highlight_best=[1, 2, 3],
+        )
+    )
+    return 0
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    prefix_len = max(1, int(len(dataset.stream) * args.prefix))
+    graph = dataset.build_graph(dataset.stream[:prefix_len])
+    schemas = mine_metapaths(
+        graph,
+        num_walks=args.walks,
+        walk_length=args.walk_length,
+        top_k=args.top_k,
+        min_support=args.min_support,
+        rng=args.seed,
+    )
+    if not schemas:
+        print("no metapath schemas found (try more walks or lower support)")
+        return 1
+    print(f"mined {len(schemas)} schemas from {prefix_len} edges:")
+    for mp in schemas:
+        print("  ", mp.describe())
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    save_edge_tsv(dataset.stream, args.output)
+    print(f"wrote {len(dataset.stream)} edges to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SUPA / InsLearn reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="list built-in datasets")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_datasets)
+
+    p = sub.add_parser("train", help="train one method, print metrics")
+    _add_common(p)
+    p.add_argument(
+        "--method", default="SUPA", choices=available_baselines()
+    )
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--max-queries", type=int, default=150)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("compare", help="compare several methods")
+    _add_common(p)
+    p.add_argument(
+        "--methods",
+        nargs="+",
+        default=["SUPA", "LightGCN", "DeepWalk"],
+        choices=available_baselines(),
+    )
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--max-queries", type=int, default=150)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("mine", help="mine multiplex metapath schemas")
+    _add_common(p)
+    p.add_argument("--prefix", type=float, default=0.3, help="stream fraction to mine")
+    p.add_argument("--walks", type=int, default=400)
+    p.add_argument("--walk-length", type=int, default=4)
+    p.add_argument("--top-k", type=int, default=4)
+    p.add_argument("--min-support", type=int, default=5)
+    p.set_defaults(func=cmd_mine)
+
+    p = sub.add_parser("export", help="write a dataset's edges to TSV")
+    _add_common(p)
+    p.add_argument("--output", required=True)
+    p.set_defaults(func=cmd_export)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""The edge-type specific interactor (Section III-C.2, Eq. 6-7).
+
+Combines target embeddings with relation-specific context embeddings to
+form the final embeddings
+
+    h^r = 1/2 (h* + c^r),
+
+and computes the interaction loss ``L_inter = -log sigma(h_u^r . h_v^r)``
+that pulls the two interactive nodes together.  Forward and analytic
+backward are exposed separately so the model can fold the gradients into
+its sparse accumulators.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+import numpy as np
+
+
+def _sigmoid(x: float) -> float:
+    if x >= 0:
+        return 1.0 / (1.0 + np.exp(-min(x, 500.0)))
+    z = np.exp(max(x, -500.0))
+    return z / (1.0 + z)
+
+
+def _log_sigmoid(x: float) -> float:
+    if x >= 0:
+        return -np.log1p(np.exp(-x))
+    return x - np.log1p(np.exp(x))
+
+
+def final_embedding(h_star: np.ndarray, context: np.ndarray) -> np.ndarray:
+    """Eq. 6/14: ``h^r = 1/2 (h* + c^r)``."""
+    return 0.5 * (h_star + context)
+
+
+class InteractionForward(NamedTuple):
+    """Forward state of the interaction loss for one edge."""
+
+    loss: float
+    score: float
+    h_r_u: np.ndarray
+    h_r_v: np.ndarray
+
+
+def interaction_loss(
+    h_star_u: np.ndarray,
+    c_u: np.ndarray,
+    h_star_v: np.ndarray,
+    c_v: np.ndarray,
+) -> InteractionForward:
+    """Eq. 7 forward: ``-log sigma(h_u^r . h_v^r)``."""
+    h_r_u = final_embedding(h_star_u, c_u)
+    h_r_v = final_embedding(h_star_v, c_v)
+    score = float(np.dot(h_r_u, h_r_v))
+    return InteractionForward(
+        loss=-_log_sigmoid(score), score=score, h_r_u=h_r_u, h_r_v=h_r_v
+    )
+
+
+def interaction_loss_backward(
+    fwd: InteractionForward,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients ``(d/dh*_u, d/dc_u, d/dh*_v, d/dc_v)`` of Eq. 7.
+
+    With ``s = h_u^r . h_v^r`` the upstream derivative is
+    ``dL/ds = sigma(s) - 1``; the half factors come from Eq. 6.
+    """
+    coeff = _sigmoid(fwd.score) - 1.0
+    grad_h_r_u = coeff * fwd.h_r_v
+    grad_h_r_v = coeff * fwd.h_r_u
+    return (
+        0.5 * grad_h_r_u,
+        0.5 * grad_h_r_u,
+        0.5 * grad_h_r_v,
+        0.5 * grad_h_r_v,
+    )

@@ -1,0 +1,207 @@
+"""SUPA's learnable state and the sparse Adam optimiser that updates it.
+
+Each node owns three learnable vectors (Section III-C): a long-term
+memory ``h^L``, a short-term memory ``h^S`` and one context embedding
+``c^r`` per edge type.  A global vector of node-type parameters
+``alpha_o`` controls short-term forgetting.  Because each streamed edge
+touches only a handful of rows, updates go through a *sparse* Adam that
+keeps per-row step counts for bias correction (the numpy analogue of
+``torch.optim.SparseAdam``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, new_rng
+
+
+class SparseAdam:
+    """Adam over selected rows of a 2-D parameter array.
+
+    Bias correction uses per-row step counts, so rarely touched rows are
+    not over-corrected.  ``weight_decay`` adds L2 on touched rows only
+    (the standard sparse-training convention).
+    """
+
+    def __init__(
+        self,
+        param: np.ndarray,
+        lr: float,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if param.ndim != 2:
+            raise ValueError(f"SparseAdam expects 2-D parameters, got {param.ndim}-D")
+        self.param = param
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = np.zeros_like(param)
+        self._v = np.zeros_like(param)
+        self._steps = np.zeros(param.shape[0], dtype=np.int64)
+
+    def update_rows(self, rows: np.ndarray, grads: np.ndarray) -> None:
+        """Apply one Adam step to ``rows`` with per-row ``grads``.
+
+        ``rows`` must be unique; accumulate duplicate contributions
+        before calling.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return
+        grads = np.asarray(grads, dtype=np.float64)
+        if grads.shape != (rows.size, self.param.shape[1]):
+            raise ValueError(
+                f"grads shape {grads.shape} does not match "
+                f"({rows.size}, {self.param.shape[1]})"
+            )
+        if self.weight_decay:
+            grads = grads + self.weight_decay * self.param[rows]
+        self._steps[rows] += 1
+        t = self._steps[rows][:, None].astype(np.float64)
+        m = self._m[rows] * self.beta1 + (1.0 - self.beta1) * grads
+        v = self._v[rows] * self.beta2 + (1.0 - self.beta2) * grads**2
+        self._m[rows] = m
+        self._v[rows] = v
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        self.param[rows] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {
+            "m": self._m.copy(),
+            "v": self._v.copy(),
+            "steps": self._steps.copy(),
+        }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self._m[...] = state["m"]
+        self._v[...] = state["v"]
+        self._steps[...] = state["steps"]
+
+
+class NodeMemory:
+    """The full learnable state of a SUPA model.
+
+    Arrays (``N`` nodes, ``R`` edge types, ``O`` node types, dim ``d``):
+
+    - ``long``: ``(N, d)`` long-term memories,
+    - ``short``: ``(N, d)`` short-term memories,
+    - ``context``: ``(R, N, d)`` relation-specific context embeddings
+      (``R = 1`` when ``typed_context`` is off — SUPA_se),
+    - ``alpha``: ``(O,)`` node-type forgetting parameters
+      (``O = 1`` when ``typed_alpha`` is off — SUPA_sn).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_edge_types: int,
+        num_node_types: int,
+        dim: int,
+        init_std: float = 0.1,
+        rng: RngLike = None,
+        typed_context: bool = True,
+        typed_alpha: bool = True,
+    ):
+        if num_nodes < 1 or num_edge_types < 1 or num_node_types < 1:
+            raise ValueError("memory needs at least one node, edge type and node type")
+        rng = new_rng(rng)
+        self.num_nodes = num_nodes
+        self.dim = dim
+        self.typed_context = typed_context
+        self.typed_alpha = typed_alpha
+        self.num_context_slots = num_edge_types if typed_context else 1
+        self.num_alpha_slots = num_node_types if typed_alpha else 1
+        self.long = rng.normal(0.0, init_std, size=(num_nodes, dim))
+        self.short = rng.normal(0.0, init_std, size=(num_nodes, dim))
+        self.context = rng.normal(
+            0.0, init_std, size=(self.num_context_slots, num_nodes, dim)
+        )
+        self.alpha = np.zeros(self.num_alpha_slots, dtype=np.float64)
+
+    def context_slot(self, edge_type_id: int) -> int:
+        """Map an edge type to its context table (0 when shared)."""
+        return edge_type_id if self.typed_context else 0
+
+    def alpha_slot(self, node_type_id: int) -> int:
+        """Map a node type to its alpha parameter (0 when shared)."""
+        return node_type_id if self.typed_alpha else 0
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {
+            "long": self.long.copy(),
+            "short": self.short.copy(),
+            "context": self.context.copy(),
+            "alpha": self.alpha.copy(),
+        }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for name in ("long", "short", "context", "alpha"):
+            target = getattr(self, name)
+            if target.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {target.shape} vs {state[name].shape}"
+                )
+            target[...] = state[name]
+
+
+class MemoryOptimizer:
+    """Bundles the sparse Adam instances for every memory array."""
+
+    def __init__(self, memory: NodeMemory, lr: float, weight_decay: float):
+        self.memory = memory
+        self.long = SparseAdam(memory.long, lr, weight_decay=weight_decay)
+        self.short = SparseAdam(memory.short, lr, weight_decay=weight_decay)
+        # Context is (R, N, d); flatten the first two axes so each
+        # (relation, node) pair is one sparse row.
+        self._context_flat = memory.context.reshape(-1, memory.dim)
+        self.context = SparseAdam(self._context_flat, lr, weight_decay=weight_decay)
+        # memory.alpha[:, None] is a numpy view, so SparseAdam's in-place
+        # updates write straight through to the memory's alpha vector.
+        self.alpha = SparseAdam(memory.alpha[:, None], lr, weight_decay=0.0)
+
+    def context_row(self, slot: int, node: int) -> int:
+        """Flat row index of context embedding ``(slot, node)``."""
+        return slot * self.memory.num_nodes + node
+
+    def step(
+        self,
+        long_grads: Dict[int, np.ndarray],
+        short_grads: Dict[int, np.ndarray],
+        context_grads: Dict[int, np.ndarray],
+        alpha_grads: Optional[Dict[int, float]] = None,
+    ) -> None:
+        """Apply accumulated per-row gradients in one sparse Adam step."""
+        if long_grads:
+            rows = np.fromiter(long_grads, dtype=np.int64, count=len(long_grads))
+            self.long.update_rows(rows, np.stack([long_grads[r] for r in rows]))
+        if short_grads:
+            rows = np.fromiter(short_grads, dtype=np.int64, count=len(short_grads))
+            self.short.update_rows(rows, np.stack([short_grads[r] for r in rows]))
+        if context_grads:
+            rows = np.fromiter(context_grads, dtype=np.int64, count=len(context_grads))
+            self.context.update_rows(rows, np.stack([context_grads[r] for r in rows]))
+        if alpha_grads:
+            rows = np.fromiter(alpha_grads, dtype=np.int64, count=len(alpha_grads))
+            grads = np.asarray([alpha_grads[r] for r in rows])[:, None]
+            self.alpha.update_rows(rows, grads)
+
+    def state_dict(self) -> Dict[str, Dict[str, np.ndarray]]:
+        return {
+            "long": self.long.state_dict(),
+            "short": self.short.state_dict(),
+            "context": self.context.state_dict(),
+            "alpha": self.alpha.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Dict[str, np.ndarray]]) -> None:
+        self.long.load_state_dict(state["long"])
+        self.short.load_state_dict(state["short"])
+        self.context.load_state_dict(state["context"])
+        self.alpha.load_state_dict(state["alpha"])

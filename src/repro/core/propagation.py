@@ -1,0 +1,134 @@
+"""The time-aware propagation module (Section III-D, Eq. 8-10).
+
+Two propagation flows carry the target embeddings of the interactive
+nodes across the sampled influenced graph.  Crossing an edge of age
+``Delta_E`` multiplies the carried information by
+``D(Delta_E) * g(Delta_E)`` — **attenuation** via ``g`` and
+**termination** via the out-of-date filter ``D`` (Eq. 9).  The
+propagation loss (Eq. 10) is a skip-gram objective between the arriving
+information and each influenced node's context embedding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.config import SUPAConfig, g_decay
+from repro.core.interactor import _log_sigmoid, _sigmoid
+from repro.core.memory import NodeMemory
+from repro.graph.sampling import InfluencedGraph, Walk
+
+
+@dataclass
+class PropagationStep:
+    """One ``<z_i, r_i>`` hop reached by a propagation flow.
+
+    ``cum_factor`` is the product of all edge factors on the path so
+    far, so the arriving information is ``cum_factor * h*_source``;
+    ``source_side`` is 0 when the flow started at ``u``, 1 for ``v``.
+    """
+
+    node: int
+    rel: int
+    cum_factor: float
+    source_side: int
+    score: float  # c_z^{r} . d_{p,z}
+
+
+@dataclass
+class PropagationForward:
+    """Forward state of Eq. 10 over the whole influenced graph."""
+
+    loss: float
+    steps: List[PropagationStep]
+
+
+def edge_factor(delta_e: float, cfg: SUPAConfig) -> float:
+    """``D(Delta_E) * g(Delta_E)`` of Eq. 8; 1.0 when decay is ablated."""
+    if not cfg.use_propagation_decay:
+        return 1.0
+    if delta_e > cfg.tau:
+        return 0.0
+    return float(g_decay(max(delta_e, 0.0)))
+
+
+def _walk_steps(
+    walk: Walk, now: float, source_side: int, cfg: SUPAConfig
+) -> List[Tuple[int, int, float]]:
+    """``(node, rel, cum_factor)`` per hop until the flow terminates."""
+    out = []
+    cum = 1.0
+    for step in walk.hops():
+        factor = edge_factor(now - step.t, cfg)
+        if factor == 0.0:
+            break  # Eq. 9: out-of-date edge terminates this flow.
+        cum *= factor
+        out.append((step.node, step.rel, cum))
+    return out
+
+
+def propagation_loss(
+    memory: NodeMemory,
+    influenced: InfluencedGraph,
+    h_star_u: np.ndarray,
+    h_star_v: np.ndarray,
+    now: float,
+    cfg: SUPAConfig,
+) -> PropagationForward:
+    """Eq. 10 forward: ``-sum log sigma(c_z^{r} . d_{p,z})``.
+
+    The initial interaction information of each flow is the target
+    embedding of its source node (the new edge's information is already
+    folded into the short-term memories).
+    """
+    steps: List[PropagationStep] = []
+    loss = 0.0
+    sides = ((influenced.walks_u, h_star_u, 0), (influenced.walks_v, h_star_v, 1))
+    for walks, h_star, side in sides:
+        for walk in walks:
+            for node, rel, cum in _walk_steps(walk, now, side, cfg):
+                slot = memory.context_slot(rel)
+                d_vec = cum * h_star
+                score = float(np.dot(memory.context[slot, node], d_vec))
+                loss += -_log_sigmoid(score)
+                steps.append(
+                    PropagationStep(
+                        node=node,
+                        rel=rel,
+                        cum_factor=cum,
+                        source_side=side,
+                        score=score,
+                    )
+                )
+    return PropagationForward(loss=loss, steps=steps)
+
+
+def propagation_loss_backward(
+    memory: NodeMemory,
+    fwd: PropagationForward,
+    h_star_u: np.ndarray,
+    h_star_v: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, List[Tuple[int, int, np.ndarray]]]:
+    """Gradients of Eq. 10.
+
+    Returns ``(grad_h_star_u, grad_h_star_v, context_grads)`` where
+    ``context_grads`` is a list of ``(context_slot, node, grad)``
+    contributions (duplicates to be accumulated by the caller).
+    """
+    grad_u = np.zeros_like(h_star_u)
+    grad_v = np.zeros_like(h_star_v)
+    context_grads: List[Tuple[int, int, np.ndarray]] = []
+    for step in fwd.steps:
+        coeff = _sigmoid(step.score) - 1.0
+        h_star = h_star_u if step.source_side == 0 else h_star_v
+        slot = memory.context_slot(step.rel)
+        context_grads.append((slot, step.node, coeff * step.cum_factor * h_star))
+        contribution = coeff * step.cum_factor * memory.context[slot, step.node]
+        if step.source_side == 0:
+            grad_u += contribution
+        else:
+            grad_v += contribution
+    return grad_u, grad_v, context_grads

@@ -1,0 +1,64 @@
+"""The ablation variants of Tables VII and VIII as config factories.
+
+Loss ablations (Table VII): keep exactly one loss
+(``supa_inter`` / ``supa_prop`` / ``supa_neg``) or drop exactly one
+(``supa_wo_inter`` / ``supa_wo_prop`` / ``supa_wo_neg``).
+
+Heterogeneity / dynamics ablations (Table VIII):
+
+- ``supa_sn`` — one shared alpha for all node types,
+- ``supa_se`` — one shared context embedding for all edge types,
+- ``supa_s``  — both (all heterogeneity components removed),
+- ``supa_nf`` — no short-term memory,
+- ``supa_nd`` — no decay ``g`` / filter ``D`` during propagation,
+- ``supa_nt`` — all time components removed (no forgetting, no decay).
+
+``supa_wo_ins`` is a *training* variant (conventional multi-epoch
+workflow) and is handled by
+:func:`repro.core.inslearn.train_conventional`; its config equals full
+SUPA.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.config import SUPAConfig
+
+
+def _base(config: SUPAConfig) -> SUPAConfig:
+    return config.with_overrides()
+
+
+VARIANT_BUILDERS: Dict[str, Callable[[SUPAConfig], SUPAConfig]] = {
+    "supa": _base,
+    # ---- Table VII: loss combinations --------------------------------
+    "supa_inter": lambda c: c.with_overrides(use_prop=False, use_neg=False),
+    "supa_prop": lambda c: c.with_overrides(use_inter=False, use_neg=False),
+    "supa_neg": lambda c: c.with_overrides(use_inter=False, use_prop=False),
+    "supa_wo_inter": lambda c: c.with_overrides(use_inter=False),
+    "supa_wo_prop": lambda c: c.with_overrides(use_prop=False),
+    "supa_wo_neg": lambda c: c.with_overrides(use_neg=False),
+    "supa_wo_ins": _base,  # differs in training workflow, not config
+    # ---- Table VIII: heterogeneity ------------------------------------
+    "supa_sn": lambda c: c.with_overrides(typed_alpha=False),
+    "supa_se": lambda c: c.with_overrides(typed_context=False),
+    "supa_s": lambda c: c.with_overrides(typed_alpha=False, typed_context=False),
+    # ---- Table VIII: streaming dynamics --------------------------------
+    "supa_nf": lambda c: c.with_overrides(use_short_term=False),
+    "supa_nd": lambda c: c.with_overrides(use_propagation_decay=False),
+    "supa_nt": lambda c: c.with_overrides(
+        use_forgetting=False, use_propagation_decay=False
+    ),
+}
+
+
+def make_variant(name: str, config: SUPAConfig) -> SUPAConfig:
+    """The config of ablation ``name`` derived from a base ``config``."""
+    try:
+        builder = VARIANT_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown SUPA variant {name!r}; available: {sorted(VARIANT_BUILDERS)}"
+        ) from None
+    return builder(config)

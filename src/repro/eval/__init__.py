@@ -1,0 +1,31 @@
+"""Evaluation stack: ranking metrics, protocols, significance, t-SNE.
+
+Implements the paper's Section IV-C metrics (H@K, NDCG@K, MRR), the
+link-prediction / dynamic / neighbourhood-disturbance protocols, the
+paired t-test used for the starred results, and a small exact t-SNE for
+the Figure 9 embedding visualisation.
+"""
+
+from repro.eval.metrics import RankingAccumulator, hit_rate, mrr, ndcg
+from repro.eval.protocol import (
+    DynamicLinkPredictionProtocol,
+    LinkPredictionProtocol,
+    NeighborhoodDisturbanceProtocol,
+)
+from repro.eval.ranking import EvaluationResult, RankingEvaluator
+from repro.eval.significance import paired_t_test
+from repro.eval.tsne import tsne
+
+__all__ = [
+    "RankingAccumulator",
+    "hit_rate",
+    "ndcg",
+    "mrr",
+    "RankingEvaluator",
+    "EvaluationResult",
+    "paired_t_test",
+    "tsne",
+    "LinkPredictionProtocol",
+    "DynamicLinkPredictionProtocol",
+    "NeighborhoodDisturbanceProtocol",
+]

@@ -1,0 +1,90 @@
+"""Rank-curve metrics beyond the paper's headline numbers.
+
+The paper reports H@K / NDCG@K / MRR at fixed cut-offs; these helpers
+compute the full metric-vs-K curves plus recall/precision and catalogue
+coverage — useful when analysing *why* one method beats another (early
+precision vs. tail recall) and for the saturation analysis in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.eval.metrics import hit_rate, ndcg
+
+
+def hit_curve(ranks: Sequence[float], ks: Iterable[int]) -> Dict[int, float]:
+    """H@K for every K in ``ks``."""
+    return {k: hit_rate(ranks, k) for k in ks}
+
+
+def ndcg_curve(ranks: Sequence[float], ks: Iterable[int]) -> Dict[int, float]:
+    """NDCG@K for every K in ``ks``."""
+    return {k: ndcg(ranks, k) for k in ks}
+
+
+def precision_at_k(ranks: Sequence[float], k: int) -> float:
+    """Precision@K with one relevant item per query: hits / K, averaged.
+
+    Equals ``H@K / K`` in the single-ground-truth setting; kept
+    explicit so downstream code reads naturally.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        return 0.0
+    return float(np.mean(ranks <= k) / k)
+
+
+def recall_at_k(ranks: Sequence[float], k: int) -> float:
+    """Recall@K with one relevant item per query — identical to H@K."""
+    return hit_rate(ranks, k)
+
+
+def auc_from_ranks(ranks: Sequence[float], num_candidates: int) -> float:
+    """Area under the ROC curve implied by the ground-truth ranks.
+
+    For a query ranked ``r`` among ``n`` candidates the fraction of
+    negatives scored below the positive is ``(n - r) / (n - 1)``; the
+    mean over queries is the AUC.  0.5 = random, 1.0 = perfect.
+    """
+    if num_candidates < 2:
+        raise ValueError(f"need at least 2 candidates, got {num_candidates}")
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        return 0.5
+    return float(np.mean((num_candidates - ranks) / (num_candidates - 1)))
+
+
+def catalogue_coverage(
+    recommended: Sequence[Sequence[int]], catalogue_size: int
+) -> float:
+    """Fraction of the catalogue appearing in any top-K list.
+
+    Low coverage flags popularity-biased recommenders that only ever
+    surface head items.
+    """
+    if catalogue_size < 1:
+        raise ValueError(f"catalogue_size must be >= 1, got {catalogue_size}")
+    unique: set = set()
+    for rec in recommended:
+        unique.update(int(x) for x in rec)
+    return len(unique) / catalogue_size
+
+
+def rank_distribution_summary(ranks: Sequence[float]) -> Dict[str, float]:
+    """Median / quartiles / mean of the rank distribution."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        return {"count": 0, "mean": 0.0, "p25": 0.0, "median": 0.0, "p75": 0.0}
+    return {
+        "count": int(ranks.size),
+        "mean": float(ranks.mean()),
+        "p25": float(np.percentile(ranks, 25)),
+        "median": float(np.median(ranks)),
+        "p75": float(np.percentile(ranks, 75)),
+    }

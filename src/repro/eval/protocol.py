@@ -1,0 +1,202 @@
+"""Reusable experiment protocols from the paper's evaluation section.
+
+The benchmark harnesses under ``benchmarks/`` print paper-style tables;
+these classes expose the same experimental designs as library API so a
+downstream user can run them on their own datasets and models:
+
+* :class:`LinkPredictionProtocol` — Section IV-C/IV-D: chronological
+  80/1/19 split, full-catalogue ranking on the test tail.
+* :class:`DynamicLinkPredictionProtocol` — Section IV-E: ten equal
+  time slices, (re)train on ``E_i``, evaluate on ``E_{i+1}``.
+* :class:`NeighborhoodDisturbanceProtocol` — Section IV-F: train on
+  the most recent subgraph under a per-node recency cap ``eta``.
+
+Models enter through factories so each protocol stage starts from a
+fresh, identically configured model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.eval.ranking import EvaluationResult, RankingEvaluator
+from repro.graph.streams import EdgeStream
+
+if TYPE_CHECKING:  # type-only imports; avoids circular module loading
+    from repro.baselines.base import BaselineModel
+    from repro.datasets.base import Dataset
+
+ModelFactory = Callable[["Dataset"], "BaselineModel"]
+
+
+def capped_stream(dataset: Dataset, stream: EdgeStream, eta: Optional[int]) -> EdgeStream:
+    """The "most recent subgraph" of ``stream`` under recency cap ``eta``.
+
+    Replays the stream through a capped graph and keeps the edges still
+    traversable at the end — what a memory-constrained platform retains.
+    ``eta=None`` returns the stream unchanged.
+    """
+    if eta is None:
+        return stream
+    graph = dataset.build_graph(stream, max_neighbors=eta)
+    surviving = set(graph.traversable_edge_indices())
+    return EdgeStream([e for i, e in enumerate(stream) if i in surviving])
+
+
+@dataclass
+class ProtocolResult:
+    """Outcome of one protocol stage: metrics plus fit wall-clock."""
+
+    metrics: Dict[str, float]
+    fit_seconds: float
+    evaluation: EvaluationResult = field(repr=False, default=None)
+
+    def __getitem__(self, key: str) -> float:
+        return self.metrics[key]
+
+
+@dataclass
+class LinkPredictionProtocol:
+    """Chronological split + full-catalogue ranking (Sections IV-C/D)."""
+
+    train_frac: float = 0.80
+    valid_frac: float = 0.01
+    hit_ks: Tuple[int, ...] = (20, 50)
+    ndcg_k: int = 10
+    max_queries: Optional[int] = None
+    include_valid_in_training: bool = True
+    seed: int = 0
+
+    def run(self, factory: ModelFactory, dataset: Dataset) -> ProtocolResult:
+        """Fit a fresh model on the training prefix; rank the test tail."""
+        train, valid, test = dataset.split(self.train_frac, self.valid_frac)
+        if self.include_valid_in_training:
+            train = EdgeStream(list(train) + list(valid))
+        model = factory(dataset)
+        start = time.perf_counter()
+        model.fit(train)
+        fit_seconds = time.perf_counter() - start
+        evaluator = RankingEvaluator(
+            hit_ks=self.hit_ks,
+            ndcg_k=self.ndcg_k,
+            max_queries=self.max_queries,
+            rng=self.seed,
+        )
+        evaluation = evaluator.evaluate(model, dataset.ranking_queries(test))
+        return ProtocolResult(
+            metrics=evaluation.metrics,
+            fit_seconds=fit_seconds,
+            evaluation=evaluation,
+        )
+
+
+@dataclass
+class DynamicLinkPredictionProtocol:
+    """Train on slice i, evaluate on slice i+1 (Section IV-E).
+
+    Dynamic models (``is_dynamic``) receive each slice through
+    ``partial_fit``; static models are refit from scratch on everything
+    seen so far (``retrain_factory`` may vary the budget with the
+    accumulated edge count, mirroring training-to-convergence).
+    """
+
+    num_slices: int = 10
+    hit_ks: Tuple[int, ...] = (50,)
+    ndcg_k: int = 10
+    max_queries: Optional[int] = None
+    seed: int = 0
+    retrain_factory: Optional[Callable[[Dataset, int], BaselineModel]] = None
+
+    def run(
+        self, factory: ModelFactory, dataset: Dataset
+    ) -> List[ProtocolResult]:
+        """Per-step results for steps ``1 .. num_slices - 1``."""
+        if self.num_slices < 2:
+            raise ValueError(f"need at least 2 slices, got {self.num_slices}")
+        slices = dataset.stream.equal_slices(self.num_slices)
+        evaluator = RankingEvaluator(
+            hit_ks=self.hit_ks,
+            ndcg_k=self.ndcg_k,
+            max_queries=self.max_queries,
+            rng=self.seed,
+        )
+        model = factory(dataset)
+        seen: List = []
+        results: List[ProtocolResult] = []
+        for i in range(self.num_slices - 1):
+            seen.extend(list(slices[i]))
+            start = time.perf_counter()
+            if model.is_dynamic:
+                model.partial_fit(slices[i])
+            else:
+                if self.retrain_factory is not None:
+                    model = self.retrain_factory(dataset, len(seen))
+                else:
+                    model = factory(dataset)
+                model.fit(EdgeStream(list(seen)))
+            fit_seconds = time.perf_counter() - start
+            evaluation = evaluator.evaluate(
+                model, dataset.ranking_queries(slices[i + 1])
+            )
+            results.append(
+                ProtocolResult(
+                    metrics=evaluation.metrics,
+                    fit_seconds=fit_seconds,
+                    evaluation=evaluation,
+                )
+            )
+        return results
+
+
+@dataclass
+class NeighborhoodDisturbanceProtocol:
+    """Link prediction under per-node recency caps (Section IV-F)."""
+
+    etas: Sequence[Optional[int]] = (5, 10, 20, 50, 100, None)
+    train_frac: float = 0.80
+    valid_frac: float = 0.01
+    hit_ks: Tuple[int, ...] = (50,)
+    ndcg_k: int = 10
+    max_queries: Optional[int] = None
+    seed: int = 0
+
+    def run(
+        self,
+        factory: Callable[[Dataset, Optional[int]], BaselineModel],
+        dataset: Dataset,
+    ) -> Dict[Optional[int], ProtocolResult]:
+        """One result per eta; ``factory(dataset, eta)`` builds the model
+        (SUPA-style models can pass the cap to their internal graph)."""
+        train, valid, test = dataset.split(self.train_frac, self.valid_frac)
+        train = EdgeStream(list(train) + list(valid))
+        queries = dataset.ranking_queries(test)
+        evaluator = RankingEvaluator(
+            hit_ks=self.hit_ks,
+            ndcg_k=self.ndcg_k,
+            max_queries=self.max_queries,
+            rng=self.seed,
+        )
+        out: Dict[Optional[int], ProtocolResult] = {}
+        for eta in self.etas:
+            capped = capped_stream(dataset, train, eta)
+            model = factory(dataset, eta)
+            start = time.perf_counter()
+            model.fit(capped)
+            fit_seconds = time.perf_counter() - start
+            evaluation = evaluator.evaluate(model, queries)
+            out[eta] = ProtocolResult(
+                metrics=evaluation.metrics,
+                fit_seconds=fit_seconds,
+                evaluation=evaluation,
+            )
+        return out
+
+    @staticmethod
+    def sensitivity(results: Dict[Optional[int], ProtocolResult], metric: str) -> float:
+        """Max-minus-min of ``metric`` across etas (the Figure 6 spread)."""
+        values = [r.metrics[metric] for r in results.values()]
+        return float(max(values) - min(values))

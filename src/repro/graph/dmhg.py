@@ -1,0 +1,326 @@
+"""The dynamic multiplex heterogeneous graph (DMHG) container.
+
+Implements Definition 1: nodes with a type mapping ``phi: V -> O`` and a
+stream of temporal edges ``(u, v, r, t)``.  The container supports the
+operations the paper's system needs:
+
+* streaming edge insertion (and deletion, Section III-A),
+* per-node temporal adjacency with an optional recency cap ``eta``
+  (``max_neighbors``) modelling the resource-constrained platforms that
+  cause *neighbourhood disturbance* (Section IV-F),
+* type/time-filtered neighbour queries for metapath walks,
+* last-interaction timestamps for the active time interval ``Delta_V``,
+* degree tallies for the skip-gram noise distribution, and
+* chronological snapshots for static baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.schema import GraphSchema
+
+
+class TemporalEdge(NamedTuple):
+    """A single temporal edge ``(u, v, r, t)`` plus its store index."""
+
+    u: int
+    v: int
+    rel: int
+    t: float
+    index: int
+
+
+class _AdjEntry(NamedTuple):
+    other: int
+    rel: int
+    t: float
+    index: int
+
+
+class DMHG:
+    """A dynamic multiplex heterogeneous graph.
+
+    Parameters
+    ----------
+    schema:
+        The ``(O, R)`` type universe.
+    max_neighbors:
+        Optional recency cap ``eta``: each node keeps only its most
+        recently inserted ``eta`` incident edges for traversal, matching
+        the paper's memory-constrained setting.  ``None`` keeps everything.
+    """
+
+    def __init__(self, schema: GraphSchema, max_neighbors: Optional[int] = None):
+        if max_neighbors is not None and max_neighbors < 1:
+            raise ValueError(f"max_neighbors must be >= 1, got {max_neighbors}")
+        self.schema = schema
+        self.max_neighbors = max_neighbors
+        self._node_types: List[int] = []
+        self._nodes_by_type: Dict[int, List[int]] = {
+            i: [] for i in range(schema.num_node_types)
+        }
+        self._adj: List[List[_AdjEntry]] = []
+        self._edge_u: List[int] = []
+        self._edge_v: List[int] = []
+        self._edge_rel: List[int] = []
+        self._edge_t: List[float] = []
+        self._edge_alive: List[bool] = []
+        self._num_alive_edges = 0
+        self._last_time: List[float] = []
+        self._degree: List[int] = []
+
+    # ------------------------------------------------------------------ nodes
+
+    def add_node(self, node_type: str) -> int:
+        """Create a node of ``node_type`` and return its integer id."""
+        type_id = self.schema.node_type_id(node_type)
+        node = len(self._node_types)
+        self._node_types.append(type_id)
+        self._nodes_by_type[type_id].append(node)
+        self._adj.append([])
+        self._last_time.append(-np.inf)
+        self._degree.append(0)
+        return node
+
+    def add_nodes(self, node_type: str, count: int) -> List[int]:
+        """Create ``count`` nodes of one type; returns their ids."""
+        return [self.add_node(node_type) for _ in range(count)]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._node_types)
+
+    def node_type(self, node: int) -> str:
+        """The type name ``phi(node)``."""
+        return self.schema.node_types[self._node_types[node]]
+
+    def node_type_id(self, node: int) -> int:
+        """The integer type id of ``node``."""
+        return self._node_types[node]
+
+    def node_type_ids(self) -> np.ndarray:
+        """Array of type ids for all nodes (index = node id)."""
+        return np.asarray(self._node_types, dtype=np.int64)
+
+    def nodes_of_type(self, node_type: str) -> List[int]:
+        """All node ids whose type is ``node_type``."""
+        return list(self._nodes_by_type[self.schema.node_type_id(node_type)])
+
+    # ------------------------------------------------------------------ edges
+
+    def add_edge(self, u: int, v: int, edge_type: str, t: float) -> int:
+        """Insert edge ``(u, v, r, t)``; returns its index in the edge store.
+
+        Endpoint node types are validated when the schema declares them.
+        Insertion refreshes both endpoints' last-interaction timestamps.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        rel = self.schema.edge_type_id(edge_type)
+        if edge_type in self.schema.endpoints:
+            src_type, dst_type = self.schema.endpoints_of(edge_type)
+            if self.node_type(u) != src_type or self.node_type(v) != dst_type:
+                raise ValueError(
+                    f"edge type {edge_type!r} connects {src_type}->{dst_type}, "
+                    f"got {self.node_type(u)}->{self.node_type(v)}"
+                )
+        index = len(self._edge_u)
+        self._edge_u.append(u)
+        self._edge_v.append(v)
+        self._edge_rel.append(rel)
+        self._edge_t.append(float(t))
+        self._edge_alive.append(True)
+        self._num_alive_edges += 1
+        self._append_adj(u, _AdjEntry(v, rel, float(t), index))
+        self._append_adj(v, _AdjEntry(u, rel, float(t), index))
+        self._last_time[u] = max(self._last_time[u], float(t))
+        self._last_time[v] = max(self._last_time[v], float(t))
+        self._degree[u] += 1
+        self._degree[v] += 1
+        return index
+
+    def remove_edge(self, index: int) -> None:
+        """Delete the edge at ``index`` (idempotent tombstone)."""
+        if not 0 <= index < len(self._edge_u):
+            raise IndexError(f"edge index {index} out of range")
+        if not self._edge_alive[index]:
+            return
+        self._edge_alive[index] = False
+        self._num_alive_edges -= 1
+        for node in (self._edge_u[index], self._edge_v[index]):
+            self._adj[node] = [e for e in self._adj[node] if e.index != index]
+            self._degree[node] = max(0, self._degree[node] - 1)
+
+    def _append_adj(self, node: int, entry: _AdjEntry) -> None:
+        lst = self._adj[node]
+        lst.append(entry)
+        if self.max_neighbors is not None and len(lst) > self.max_neighbors:
+            # Recency cap: forget the oldest inserted incident edge.  The
+            # edge stays in the global store (it still exists historically)
+            # but is no longer traversable from this node.
+            del lst[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of live (non-deleted) edges."""
+        return self._num_alive_edges
+
+    def edge_at(self, index: int) -> TemporalEdge:
+        """The edge stored at ``index`` (alive or tombstoned)."""
+        return TemporalEdge(
+            self._edge_u[index],
+            self._edge_v[index],
+            self._edge_rel[index],
+            self._edge_t[index],
+            index,
+        )
+
+    def edge_alive(self, index: int) -> bool:
+        return self._edge_alive[index]
+
+    def edges(self) -> Iterator[TemporalEdge]:
+        """Iterate over live edges in insertion order."""
+        for i in range(len(self._edge_u)):
+            if self._edge_alive[i]:
+                yield self.edge_at(i)
+
+    # -------------------------------------------------------------- neighbours
+
+    def neighbors(
+        self,
+        node: int,
+        edge_types: Optional[Sequence[str]] = None,
+        node_type: Optional[str] = None,
+        now: Optional[float] = None,
+        within: Optional[float] = None,
+    ) -> List[Tuple[int, int, float, int]]:
+        """Traversable neighbours of ``node`` as ``(other, rel_id, t, edge_index)``.
+
+        Filters, all optional: ``edge_types`` restricts the connecting edge
+        type (a multiplex metapath's ``R_j`` set); ``node_type`` restricts
+        the neighbour's type (the metapath's ``o_{i+1}``); ``now``/``within``
+        keep only edges with ``now - t <= within``, the propagation
+        termination window ``tau`` of Eq. 9.
+        """
+        self._check_node(node)
+        rel_ids = None
+        if edge_types is not None:
+            rel_ids = {self.schema.edge_type_id(r) for r in edge_types}
+        type_id = None
+        if node_type is not None:
+            type_id = self.schema.node_type_id(node_type)
+        out = []
+        for entry in self._adj[node]:
+            if rel_ids is not None and entry.rel not in rel_ids:
+                continue
+            if type_id is not None and self._node_types[entry.other] != type_id:
+                continue
+            if within is not None:
+                reference = self._last_time[node] if now is None else now
+                if reference - entry.t > within:
+                    continue
+            out.append((entry.other, entry.rel, entry.t, entry.index))
+        return out
+
+    def neighbors_ids(self, node, rel_ids=None, type_id=None):
+        """Fast id-level neighbour query used by the walk hot path.
+
+        Like :meth:`neighbors` but takes an edge-type-id set and a
+        node-type id directly (no name lookups) and returns the raw
+        adjacency entries ``(other, rel, t, index)``.
+        """
+        node_types = self._node_types
+        out = []
+        for entry in self._adj[node]:
+            if rel_ids is not None and entry.rel not in rel_ids:
+                continue
+            if type_id is not None and node_types[entry.other] != type_id:
+                continue
+            out.append(entry)
+        return out
+
+    def degree(self, node: int) -> int:
+        """Number of live incident edges of ``node`` (before the recency cap)."""
+        self._check_node(node)
+        return self._degree[node]
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every node, indexed by node id."""
+        return np.asarray(self._degree, dtype=np.int64)
+
+    def last_interaction_time(self, node: int) -> float:
+        """Timestamp ``t'_i`` of the latest interaction involving ``node``.
+
+        ``-inf`` when the node has never interacted; callers clamp the
+        active interval ``Delta_V`` accordingly.
+        """
+        self._check_node(node)
+        return self._last_time[node]
+
+    def last_interaction_times(self, nodes: Sequence[int]) -> np.ndarray:
+        """Vectorised :meth:`last_interaction_time` over ``nodes``."""
+        return np.asarray([self._last_time[n] for n in nodes], dtype=np.float64)
+
+    # ---------------------------------------------------------------- views
+
+    def snapshot_until(self, t: float, max_neighbors: Optional[int] = None) -> "DMHG":
+        """A new graph containing the same nodes and live edges with ``t' <= t``.
+
+        Static baselines train on such snapshots in the dynamic
+        link-prediction protocol (Section IV-E).
+        """
+        g = DMHG(self.schema, max_neighbors=max_neighbors)
+        for type_id in self._node_types:
+            g.add_node(self.schema.node_types[type_id])
+        for e in self.edges():
+            if e.t <= t:
+                g.add_edge(e.u, e.v, self.schema.edge_types[e.rel], e.t)
+        return g
+
+    def copy(self, max_neighbors: Optional[int] = None) -> "DMHG":
+        """Deep copy, optionally changing the recency cap."""
+        return self.snapshot_until(np.inf, max_neighbors=max_neighbors)
+
+    def traversable_edge_indices(self) -> List[int]:
+        """Indices of edges still reachable from some adjacency list.
+
+        Under a recency cap, old incident edges fall out of nodes'
+        neighbour lists; this returns the surviving "most recent
+        subgraph" (the data a memory-constrained platform actually
+        retains), sorted by insertion order.
+        """
+        seen = set()
+        for entries in self._adj:
+            for entry in entries:
+                seen.add(entry.index)
+        return sorted(seen)
+
+    def timestamps(self) -> np.ndarray:
+        """Timestamps of live edges in insertion order."""
+        alive = np.asarray(self._edge_alive, dtype=bool)
+        return np.asarray(self._edge_t, dtype=np.float64)[alive]
+
+    def statistics(self) -> Dict[str, int]:
+        """|V|, |E|, |O|, |R|, |T| as in the paper's Table III."""
+        ts = self.timestamps()
+        return {
+            "|V|": self.num_nodes,
+            "|E|": self.num_edges,
+            "|O|": self.schema.num_node_types,
+            "|R|": self.schema.num_edge_types,
+            "|T|": int(np.unique(ts).size) if ts.size else 0,
+        }
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < len(self._node_types):
+            raise IndexError(f"node {node} out of range (num_nodes={self.num_nodes})")
+
+    def __repr__(self) -> str:
+        return (
+            f"DMHG(|V|={self.num_nodes}, |E|={self.num_edges}, "
+            f"|O|={self.schema.num_node_types}, |R|={self.schema.num_edge_types}, "
+            f"max_neighbors={self.max_neighbors})"
+        )

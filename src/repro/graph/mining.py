@@ -1,0 +1,143 @@
+"""Automatic multiplex metapath mining (the paper's stated future work).
+
+Section VI: "In the future, SUPA will be developed to explore the
+constraints on the edge type sets of multiplex metapath schemas and
+compute the set of multiplex metapath schemas automatically."  This
+module provides that capability: it mines frequent symmetric type
+sequences from unconstrained random walks over an observed graph prefix
+and emits them as :class:`MultiplexMetapath` schemas.
+
+Approach: sample walks, project each onto its (node type, edge type)
+signature, count signature n-grams of the requested lengths, keep the
+most frequent symmetric ones, and merge edge types observed between the
+same type pair into multiplex edge-type sets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.graph.dmhg import DMHG
+from repro.graph.metapath import MultiplexMetapath
+from repro.utils.rng import RngLike, new_rng
+
+
+def _walk_signature(
+    graph: DMHG, nodes: Sequence[int], rels: Sequence[int]
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    node_types = tuple(graph.node_type(n) for n in nodes)
+    edge_types = tuple(graph.schema.edge_types[r] for r in rels)
+    return node_types, edge_types
+
+
+def mine_metapaths(
+    graph: DMHG,
+    num_walks: int = 200,
+    walk_length: int = 4,
+    lengths: Sequence[int] = (3,),
+    top_k: int = 4,
+    min_support: int = 5,
+    merge_edge_types: bool = True,
+    rng: RngLike = 0,
+) -> List[MultiplexMetapath]:
+    """Mine up to ``top_k`` frequent multiplex metapath schemas.
+
+    Parameters
+    ----------
+    graph:
+        The observed graph prefix to mine from.
+    num_walks / walk_length:
+        Random-walk sampling budget.
+    lengths:
+        Schema lengths ``|P|`` to consider (3 = one intermediate hop,
+        the shape of every schema in the paper's Table IV).
+    top_k:
+        Maximum number of schemas returned (most frequent first).
+    min_support:
+        Minimum occurrence count for a type sequence to qualify.
+    merge_edge_types:
+        Merge all edge types seen between the same node-type pair into
+        one multiplex edge-type set (Table IV style); otherwise each
+        observed edge-type sequence stays its own schema.
+    """
+    if graph.num_edges == 0:
+        return []
+    rng = new_rng(rng)
+
+    # Collect typed n-grams from unconstrained walks.
+    sequence_counts: Counter = Counter()
+    pair_edge_types: Dict[Tuple[str, str], Set[str]] = {}
+    for _ in range(num_walks):
+        start = int(rng.integers(graph.num_nodes))
+        nodes = [start]
+        rels: List[int] = []
+        current = start
+        for _ in range(walk_length - 1):
+            nbrs = graph.neighbors(current)
+            if not nbrs:
+                break
+            other, rel, _, _ = nbrs[int(rng.integers(len(nbrs)))]
+            nodes.append(other)
+            rels.append(rel)
+            current = other
+        if len(nodes) < 2:
+            continue
+        node_types, edge_types = _walk_signature(graph, nodes, rels)
+        for a, b, r in zip(node_types, node_types[1:], edge_types):
+            pair_edge_types.setdefault((a, b), set()).add(r)
+            pair_edge_types.setdefault((b, a), set()).add(r)
+        for length in lengths:
+            for i in range(len(node_types) - length + 1):
+                window_nodes = node_types[i : i + length]
+                window_edges = edge_types[i : i + length - 1]
+                sequence_counts[(window_nodes, window_edges)] += 1
+
+    # Aggregate by node-type sequence (edge sets merged per hop).
+    by_type_sequence: Counter = Counter()
+    for (node_seq, _), count in sequence_counts.items():
+        by_type_sequence[node_seq] += count
+
+    schemas: List[MultiplexMetapath] = []
+    seen: Set[Tuple] = set()
+    for node_seq, count in by_type_sequence.most_common():
+        if len(schemas) >= top_k:
+            break
+        if count < min_support:
+            continue
+        if node_seq != tuple(reversed(node_seq)):
+            continue  # only symmetric schemas tile into long walks
+        if merge_edge_types:
+            edge_sets = []
+            valid = True
+            for a, b in zip(node_seq, node_seq[1:]):
+                types = pair_edge_types.get((a, b), set())
+                if not types:
+                    valid = False
+                    break
+                edge_sets.append(sorted(types))
+            if not valid:
+                continue
+            key = (node_seq, tuple(tuple(s) for s in edge_sets))
+            if key in seen:
+                continue
+            seen.add(key)
+            schema = MultiplexMetapath.create(list(node_seq), edge_sets)
+            schema.validate_against(graph.schema)
+            schemas.append(schema)
+        else:
+            for (seq, edge_seq), c in sequence_counts.items():
+                if seq != node_seq or c < min_support:
+                    continue
+                key = (seq, edge_seq)
+                if key in seen:
+                    continue
+                seen.add(key)
+                schema = MultiplexMetapath.create(
+                    list(seq), [[r] for r in edge_seq]
+                )
+                schema.validate_against(graph.schema)
+                schemas.append(schema)
+                if len(schemas) >= top_k:
+                    break
+    return schemas

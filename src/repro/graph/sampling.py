@@ -1,0 +1,287 @@
+"""Influenced graph sampling (Section III-B).
+
+For a new edge ``(u, v, r, t)`` the Influenced Graph Sampling Module draws
+``k`` metapath-constrained random walks of length ``l`` from each of the
+two interactive nodes (Eq. 1-3).  The union of walks is the *influenced
+graph* ``G_{s,e}`` on which the Time-aware Propagation Module spreads the
+interaction information.
+
+Walks are sampled *before* the new edge is inserted into the graph, so a
+walk never trivially crosses the edge whose influence it measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, NamedTuple, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.graph.dmhg import DMHG
+from repro.graph.metapath import MultiplexMetapath
+from repro.utils.rng import RngLike, new_rng
+
+
+class WalkStep(NamedTuple):
+    """One node on a walk plus the edge used to arrive at it.
+
+    ``rel`` and ``t`` are ``None`` for the walk's start node.
+    """
+
+    node: int
+    rel: Optional[int]
+    t: Optional[float]
+
+
+@dataclass
+class Walk:
+    """A metapath-constrained random walk: a sequence of :class:`WalkStep`."""
+
+    steps: List[WalkStep]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def start(self) -> int:
+        return self.steps[0].node
+
+    def nodes(self) -> List[int]:
+        return [s.node for s in self.steps]
+
+    def hops(self) -> List[WalkStep]:
+        """Steps after the start node, each carrying its arrival edge."""
+        return self.steps[1:]
+
+
+@dataclass
+class InfluencedGraph:
+    """The sampled influenced graph ``G_{s,e}`` of a new edge.
+
+    ``walks_u``/``walks_v`` are the path sets ``p_u``/``p_v`` of Eq. 1,
+    rooted at the two interactive nodes.
+    """
+
+    u: int
+    v: int
+    rel: int
+    t: float
+    walks_u: List[Walk] = field(default_factory=list)
+    walks_v: List[Walk] = field(default_factory=list)
+
+    @property
+    def walks(self) -> List[Walk]:
+        return self.walks_u + self.walks_v
+
+    def influenced_nodes(self) -> Set[int]:
+        """Nodes reached by any walk, excluding the two interactive nodes."""
+        nodes: Set[int] = set()
+        for walk in self.walks:
+            nodes.update(step.node for step in walk.hops())
+        nodes.discard(self.u)
+        nodes.discard(self.v)
+        return nodes
+
+
+def applicable_metapaths(
+    metapaths: Sequence[MultiplexMetapath], node_type: str
+) -> List[MultiplexMetapath]:
+    """Metapaths whose head type matches ``node_type``."""
+    return [p for p in metapaths if p.head == node_type]
+
+
+class CompiledMetapath:
+    """A metapath pre-resolved to integer type/relation ids.
+
+    The walk hot path runs millions of "which node type next, which
+    edge types allowed" lookups; compiling once per (metapath, schema)
+    removes every per-step string lookup.
+    """
+
+    def __init__(self, metapath: MultiplexMetapath, schema) -> None:
+        self.metapath = metapath
+        self.head_type_id = schema.node_type_id(metapath.head)
+        self.period = len(metapath) - 1
+        self._type_ids = [schema.node_type_id(t) for t in metapath.node_types]
+        self._rel_id_sets = [
+            frozenset(schema.edge_type_id(r) for r in rset)
+            for rset in metapath.edge_type_sets
+        ]
+
+    def type_id_at(self, position: int) -> int:
+        return self._type_ids[position % self.period]
+
+    def rel_ids_at(self, hop: int) -> frozenset:
+        return self._rel_id_sets[hop % self.period]
+
+
+class CompiledMetapathSet:
+    """Metapaths compiled against a schema, indexed by head node type id."""
+
+    def __init__(self, metapaths: Sequence[MultiplexMetapath], schema) -> None:
+        self.by_head: dict = {}
+        for mp in metapaths:
+            compiled = CompiledMetapath(mp, schema)
+            self.by_head.setdefault(compiled.head_type_id, []).append(compiled)
+
+    def for_type(self, type_id: int) -> List["CompiledMetapath"]:
+        return self.by_head.get(type_id, [])
+
+
+def _sample_compiled_walk(
+    graph: DMHG, start: int, compiled: CompiledMetapath, length: int, rng
+) -> Walk:
+    """Id-level walk used by the training hot path (same semantics as
+    :func:`sample_metapath_walk`)."""
+    steps = [WalkStep(start, None, None)]
+    current = start
+    for position in range(length - 1):
+        candidates = graph.neighbors_ids(
+            current,
+            rel_ids=compiled.rel_ids_at(position),
+            type_id=compiled.type_id_at(position + 1),
+        )
+        if not candidates:
+            break
+        entry = candidates[int(rng.integers(len(candidates)))]
+        steps.append(WalkStep(entry.other, entry.rel, entry.t))
+        current = entry.other
+    return Walk(steps)
+
+
+def sample_influenced_graph_compiled(
+    graph: DMHG,
+    u: int,
+    v: int,
+    rel: int,
+    t: float,
+    compiled: CompiledMetapathSet,
+    num_walks: int,
+    walk_length: int,
+    rng,
+) -> InfluencedGraph:
+    """Hot-path variant of :func:`sample_influenced_graph` taking ids and
+    a precompiled metapath set."""
+    result = InfluencedGraph(u=u, v=v, rel=rel, t=float(t))
+    for node, bucket in ((u, result.walks_u), (v, result.walks_v)):
+        options = compiled.for_type(graph.node_type_id(node))
+        if not options:
+            continue
+        for _ in range(num_walks):
+            mp = options[int(rng.integers(len(options)))]
+            walk = _sample_compiled_walk(graph, node, mp, walk_length, rng)
+            if len(walk) > 1:
+                bucket.append(walk)
+    return result
+
+
+def sample_metapath_walk(
+    graph: DMHG,
+    start: int,
+    metapath: MultiplexMetapath,
+    length: int,
+    rng: RngLike = None,
+) -> Walk:
+    """One random walk of up to ``length`` nodes following ``metapath``.
+
+    At position ``i`` the next node must have type ``o_{P, f(i+1)}`` and be
+    reachable over an edge whose type is in ``R_{P, f(i)}`` (Eq. 2-3); the
+    choice among admissible neighbours is uniform.  The walk stops early
+    when no admissible neighbour exists.
+    """
+    if length < 1:
+        raise ValueError(f"walk length must be >= 1, got {length}")
+    if graph.node_type(start) != metapath.head:
+        raise ValueError(
+            f"start node {start} has type {graph.node_type(start)!r}; "
+            f"metapath head is {metapath.head!r}"
+        )
+    rng = new_rng(rng)
+    steps = [WalkStep(start, None, None)]
+    current = start
+    for position in range(length - 1):
+        wanted_type = metapath.node_type_at(position + 1)
+        wanted_edges = metapath.edge_types_at(position)
+        candidates = graph.neighbors(
+            current, edge_types=sorted(wanted_edges), node_type=wanted_type
+        )
+        if not candidates:
+            break
+        other, rel, t, _ = candidates[int(rng.integers(len(candidates)))]
+        steps.append(WalkStep(other, rel, t))
+        current = other
+    return Walk(steps)
+
+
+def sample_influenced_graph(
+    graph: DMHG,
+    u: int,
+    v: int,
+    edge_type: str,
+    t: float,
+    metapaths: Sequence[MultiplexMetapath],
+    num_walks: int,
+    walk_length: int,
+    rng: RngLike = None,
+) -> InfluencedGraph:
+    """Sample ``G_{s,e}`` for the new edge ``(u, v, edge_type, t)``.
+
+    Draws ``num_walks`` (the paper's ``k``) walks of ``walk_length``
+    (the paper's ``l``) from each interactive node.  Each walk picks a
+    uniformly random schema among those applicable to its start node; a
+    node with no applicable schema contributes no walks (its side of the
+    influenced graph is empty, and propagation towards it is skipped).
+    """
+    if num_walks < 0:
+        raise ValueError(f"num_walks must be >= 0, got {num_walks}")
+    rng = new_rng(rng)
+    rel = graph.schema.edge_type_id(edge_type)
+    result = InfluencedGraph(u=u, v=v, rel=rel, t=float(t))
+    for node, bucket in ((u, result.walks_u), (v, result.walks_v)):
+        candidates = applicable_metapaths(metapaths, graph.node_type(node))
+        if not candidates:
+            continue
+        for _ in range(num_walks):
+            metapath = candidates[int(rng.integers(len(candidates)))]
+            walk = sample_metapath_walk(graph, node, metapath, walk_length, rng)
+            if len(walk) > 1:
+                bucket.append(walk)
+    return result
+
+
+def random_walk_corpus(
+    graph: DMHG,
+    num_walks: int,
+    walk_length: int,
+    rng: RngLike = None,
+    metapaths: Optional[Sequence[MultiplexMetapath]] = None,
+) -> List[List[int]]:
+    """A DeepWalk-style corpus: ``num_walks`` walks from every node.
+
+    With ``metapaths`` given, walks are schema-constrained (metapath2vec
+    style); otherwise they are unconstrained uniform random walks.  Used
+    by the random-walk baselines.
+    """
+    rng = new_rng(rng)
+    corpus: List[List[int]] = []
+    for start in range(graph.num_nodes):
+        for _ in range(num_walks):
+            if metapaths is not None:
+                options = applicable_metapaths(metapaths, graph.node_type(start))
+                if not options:
+                    continue
+                mp = options[int(rng.integers(len(options)))]
+                walk = sample_metapath_walk(graph, start, mp, walk_length, rng)
+                seq = walk.nodes()
+            else:
+                seq = [start]
+                current = start
+                for _ in range(walk_length - 1):
+                    nbrs = graph.neighbors(current)
+                    if not nbrs:
+                        break
+                    current = nbrs[int(rng.integers(len(nbrs)))][0]
+                    seq.append(current)
+            if len(seq) > 1:
+                corpus.append(seq)
+    return corpus

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harnesses print the same rows the paper's tables report;
+this module renders them in aligned, monospaced form.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def _render_cell(value: Any, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    precision: int = 4,
+    title: Optional[str] = None,
+    highlight_best: Optional[Sequence[int]] = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Parameters
+    ----------
+    precision:
+        Decimal places for float cells.
+    highlight_best:
+        Column indices in which the maximum float value gets a ``*``
+        suffix, mirroring the paper's bold-best convention.
+    """
+    rendered: List[List[str]] = [
+        [_render_cell(v, precision) for v in row] for row in rows
+    ]
+    if highlight_best:
+        for col in highlight_best:
+            best_row, best_val = None, None
+            for i, row in enumerate(rows):
+                v = row[col]
+                if isinstance(v, (int, float)) and (best_val is None or v > best_val):
+                    best_row, best_val = i, v
+            if best_row is not None:
+                rendered[best_row][col] += "*"
+
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)

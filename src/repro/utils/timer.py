@@ -1,0 +1,56 @@
+"""Wall-clock timing helpers for the benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+
+class Timer:
+    """Accumulating stopwatch usable as a context manager.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.laps: List[float] = []
+        self._start: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        lap = time.perf_counter() - self._start
+        self.elapsed += lap
+        self.laps.append(lap)
+
+    @property
+    def mean_lap(self) -> float:
+        """Average duration of completed laps (0.0 if none)."""
+        if not self.laps:
+            return 0.0
+        return self.elapsed / len(self.laps)
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps = []
+
+
+class StageTimer:
+    """Named stage accumulator: ``with st.stage('sample'): ...``."""
+
+    def __init__(self) -> None:
+        self._timers: Dict[str, Timer] = {}
+
+    def stage(self, name: str) -> Timer:
+        return self._timers.setdefault(name, Timer())
+
+    def report(self) -> Dict[str, float]:
+        """Total elapsed seconds per stage name."""
+        return {name: t.elapsed for name, t in self._timers.items()}

@@ -1,0 +1,91 @@
+"""Tests for Module parameter collection and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.module import Module, Parameter
+
+
+class Leaf(Module):
+    def __init__(self):
+        self.w = Parameter(np.ones((2, 2)))
+        self.b = Parameter(np.zeros(2))
+
+
+class Nested(Module):
+    def __init__(self):
+        self.leaf = Leaf()
+        self.own = Parameter(np.full(3, 2.0))
+        self.stack = [Parameter(np.ones(1)), Leaf()]
+        self.table = {"extra": Parameter(np.ones(2))}
+
+
+class TestCollection:
+    def test_leaf_parameters(self):
+        assert {n for n, _ in Leaf().named_parameters()} == {"w", "b"}
+
+    def test_nested_names(self):
+        names = {n for n, _ in Nested().named_parameters()}
+        assert "leaf.w" in names
+        assert "own" in names
+        assert "stack.0" in names
+        assert "stack.1.b" in names
+        assert "table[extra]" in names
+
+    def test_no_duplicates_for_shared_parameter(self):
+        m = Leaf()
+        m.alias = m.w  # same object under a second attribute
+        params = m.parameters()
+        assert len(params) == 2
+
+    def test_zero_grad(self):
+        m = Leaf()
+        (m.w.sum() * 2).backward()
+        assert m.w.grad is not None
+        m.zero_grad()
+        assert m.w.grad is None
+
+    def test_parameter_always_requires_grad(self):
+        assert Parameter(np.ones(2)).requires_grad
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        m = Nested()
+        state = m.state_dict()
+        m.own.data[...] = -1.0
+        m.load_state_dict(state)
+        assert np.allclose(m.own.data, 2.0)
+
+    def test_state_dict_is_a_copy(self):
+        m = Leaf()
+        state = m.state_dict()
+        m.w.data[...] = 9.0
+        assert np.allclose(state["w"], 1.0)
+
+    def test_missing_key_raises(self):
+        m = Leaf()
+        state = m.state_dict()
+        del state["w"]
+        with pytest.raises(KeyError, match="missing"):
+            m.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        m = Leaf()
+        state = m.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            m.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        m = Leaf()
+        state = m.state_dict()
+        state["w"] = np.zeros((3, 3))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            m.load_state_dict(state)
+
+    def test_load_writes_in_place(self):
+        m = Leaf()
+        original_array = m.w.data
+        m.load_state_dict(m.state_dict())
+        assert m.w.data is original_array

@@ -1,0 +1,73 @@
+"""Tests for the baseline API base classes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import BaselineModel, EmbeddingModel, bipartite_pairs
+from repro.graph.streams import EdgeStream
+
+
+class Dummy(EmbeddingModel):
+    name = "Dummy"
+
+    def fit(self, stream):
+        self.embeddings = np.eye(self.dataset.num_nodes)[:, : self.dim]
+
+
+class TestEmbeddingModel:
+    def test_score_before_fit_raises(self, small_dataset):
+        m = Dummy(small_dataset, dim=4)
+        with pytest.raises(RuntimeError, match="before fit"):
+            m.score(0, np.array([5, 6]), "click", 1.0)
+
+    def test_score_is_dot_product(self, small_dataset):
+        m = Dummy(small_dataset, dim=10)
+        m.fit(small_dataset.stream)
+        scores = m.score(5, np.array([5, 6]), "click", 1.0)
+        assert scores[0] == 1.0 and scores[1] == 0.0
+
+    def test_dict_embeddings_fall_back(self, small_dataset):
+        m = Dummy(small_dataset, dim=4)
+        m.embeddings = {"click": np.ones((10, 4)), None: np.zeros((10, 4))}
+        assert m.score(0, np.array([5]), "click", 1.0)[0] == 4.0
+        assert m.score(0, np.array([5]), "like", 1.0)[0] == 0.0
+
+    def test_dict_without_default_uses_mean(self, small_dataset):
+        m = Dummy(small_dataset, dim=4)
+        m.embeddings = {"click": np.full((10, 4), 2.0)}
+        assert m.score(0, np.array([5]), "like", 1.0)[0] == pytest.approx(16.0)
+
+    def test_invalid_dim(self, small_dataset):
+        with pytest.raises(ValueError):
+            Dummy(small_dataset, dim=0)
+
+    def test_default_partial_fit_retrains_on_union(self, small_dataset):
+        calls = []
+
+        class Recorder(Dummy):
+            def fit(self, stream):
+                calls.append(len(stream))
+                super().fit(stream)
+
+        m = Recorder(small_dataset, dim=4)
+        s = small_dataset.stream
+        m.partial_fit(s[:3])
+        m.partial_fit(s[3:6])
+        assert calls == [3, 6]
+
+
+class TestBipartitePairs:
+    def test_query_is_source_role(self, small_dataset):
+        pairs = bipartite_pairs(small_dataset, small_dataset.stream)
+        assert set(pairs) == {"click", "like"}
+        for rel, arr in pairs.items():
+            assert np.all(arr[:, 0] < 5)  # users
+            assert np.all(arr[:, 1] >= 5)  # videos
+
+    def test_counts_match_stream(self, small_dataset):
+        pairs = bipartite_pairs(small_dataset, small_dataset.stream)
+        total = sum(arr.shape[0] for arr in pairs.values())
+        assert total == small_dataset.num_edges
+
+    def test_empty_stream(self, small_dataset):
+        assert bipartite_pairs(small_dataset, EdgeStream([])) == {}

@@ -1,0 +1,94 @@
+"""Tests for the shared GCN/BPR machinery."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import Tensor
+from repro.baselines.base import bipartite_pairs
+from repro.baselines.gcn_common import (
+    BPRSampler,
+    bpr_step,
+    normalized_adjacency,
+    sparse_matmul,
+    train_bpr,
+)
+
+
+class TestNormalizedAdjacency:
+    def test_symmetric(self, small_dataset):
+        adj = normalized_adjacency(10, small_dataset.stream)
+        assert (adj != adj.T).nnz == 0
+
+    def test_rows_of_degree_one_nodes(self, small_dataset):
+        adj = normalized_adjacency(10, small_dataset.stream)
+        # spectral norm of D^-1/2 A D^-1/2 is <= 1
+        dense = adj.toarray()
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_edge_type_filter(self, small_dataset):
+        all_adj = normalized_adjacency(10, small_dataset.stream)
+        like_adj = normalized_adjacency(10, small_dataset.stream, edge_types=["like"])
+        assert like_adj.nnz < all_adj.nnz
+
+    def test_self_loops(self, small_dataset):
+        adj = normalized_adjacency(10, small_dataset.stream, self_loops=True)
+        assert np.all(adj.diagonal() > 0)
+
+    def test_isolated_nodes_zero_rows(self, small_dataset):
+        adj = normalized_adjacency(12, small_dataset.stream)
+        assert adj[11].nnz == 0
+
+
+class TestSparseMatmul:
+    def test_forward(self):
+        m = sp.csr_matrix(np.array([[1.0, 2.0], [0.0, 3.0]]))
+        x = Tensor(np.array([[1.0], [1.0]]), requires_grad=True)
+        out = sparse_matmul(m, x)
+        assert np.allclose(out.numpy(), [[3.0], [3.0]])
+
+    def test_backward_is_transpose(self):
+        m = sp.csr_matrix(np.array([[1.0, 2.0], [0.0, 3.0]]))
+        x = Tensor(np.ones((2, 1)), requires_grad=True)
+        sparse_matmul(m, x).sum().backward()
+        assert np.allclose(x.grad, (m.T @ np.ones((2, 1))))
+
+
+class TestBPRSampler:
+    def test_shapes(self, small_dataset):
+        pairs = bipartite_pairs(small_dataset, small_dataset.stream)
+        sampler = BPRSampler(small_dataset, pairs, rng=0)
+        q, pos, neg = sampler.sample("click", 16)
+        assert q.shape == pos.shape == neg.shape == (16,)
+
+    def test_negatives_are_target_type(self, small_dataset):
+        pairs = bipartite_pairs(small_dataset, small_dataset.stream)
+        sampler = BPRSampler(small_dataset, pairs, rng=0)
+        _, _, neg = sampler.sample("click", 64)
+        assert np.all(neg >= 5)  # video ids
+
+    def test_no_pairs_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            BPRSampler(small_dataset, {}, rng=0)
+
+    def test_relations_sorted(self, small_dataset):
+        pairs = bipartite_pairs(small_dataset, small_dataset.stream)
+        sampler = BPRSampler(small_dataset, pairs, rng=0)
+        assert sampler.relations == sorted(sampler.relations)
+
+
+class TestTrainBPR:
+    def test_loss_decreases(self, small_dataset):
+        pairs = bipartite_pairs(small_dataset, small_dataset.stream)
+        sampler = BPRSampler(small_dataset, pairs, rng=0)
+        emb = Tensor(
+            np.random.default_rng(0).normal(0, 0.1, (10, 8)), requires_grad=True
+        )
+        losses = train_bpr([emb], lambda: emb * 1.0, sampler, steps=120, lr=0.05)
+        assert np.mean(losses[-20:]) < np.mean(losses[:20])
+
+    def test_bpr_step_value(self):
+        emb = Tensor(np.array([[1.0, 0.0], [1.0, 0.0], [-1.0, 0.0]]))
+        loss = bpr_step(emb, np.array([0]), np.array([1]), np.array([2]))
+        assert loss.item() == pytest.approx(np.log(1 + np.exp(-2.0)))

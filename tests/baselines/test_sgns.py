@@ -1,0 +1,73 @@
+"""Tests for the shared skip-gram trainer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sgns import SkipGramTrainer
+
+
+class TestConstruction:
+    def test_empty_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            SkipGramTrainer(num_nodes=0, dim=4)
+
+    def test_zero_noise_weights_fall_back_uniform(self):
+        t = SkipGramTrainer(num_nodes=3, dim=2, noise_weights=np.zeros(3), rng=0)
+        assert t is not None
+
+    def test_embeddings_shape(self):
+        t = SkipGramTrainer(num_nodes=5, dim=3, rng=0)
+        assert t.embeddings().shape == (5, 3)
+
+
+class TestTraining:
+    def test_pair_training_raises_score(self):
+        t = SkipGramTrainer(num_nodes=10, dim=8, negatives=2, rng=0)
+        before = float(t.target[0] @ t.context[1])
+        for _ in range(100):
+            t.train_pair(0, 1, lr=0.1)
+        after = float(t.target[0] @ t.context[1])
+        assert after > before
+
+    def test_corpus_loss_decreases(self):
+        rng = np.random.default_rng(0)
+        # two cliques that co-occur internally
+        corpus = []
+        for _ in range(30):
+            corpus.append(list(rng.permutation([0, 1, 2])))
+            corpus.append(list(rng.permutation([3, 4, 5])))
+        t = SkipGramTrainer(num_nodes=6, dim=8, negatives=2, window=2, rng=0)
+        first = t.train_corpus(corpus, epochs=1)
+        last = t.train_corpus(corpus, epochs=1)
+        assert last < first
+
+    def test_cooccurring_nodes_closer_than_strangers(self):
+        rng = np.random.default_rng(0)
+        corpus = []
+        for _ in range(80):
+            corpus.append(list(rng.permutation([0, 1, 2])))
+            corpus.append(list(rng.permutation([3, 4, 5])))
+        t = SkipGramTrainer(num_nodes=6, dim=8, negatives=3, window=2, rng=0)
+        t.train_corpus(corpus, epochs=3)
+        emb = t.embeddings()
+
+        def sim(a, b):
+            return float(
+                emb[a] @ emb[b] / (np.linalg.norm(emb[a]) * np.linalg.norm(emb[b]))
+            )
+
+        assert sim(0, 1) > sim(0, 3)
+        assert sim(3, 4) > sim(1, 4)
+
+    def test_epoch_validation(self):
+        t = SkipGramTrainer(num_nodes=3, dim=2, rng=0)
+        with pytest.raises(ValueError):
+            t.train_corpus([[0, 1]], epochs=0)
+
+    def test_deterministic(self):
+        def run():
+            t = SkipGramTrainer(num_nodes=4, dim=4, rng=7)
+            t.train_corpus([[0, 1, 2, 3]] * 5, epochs=1)
+            return t.embeddings().copy()
+
+        assert np.allclose(run(), run())

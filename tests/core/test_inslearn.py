@@ -1,0 +1,147 @@
+"""Tests for the InsLearn workflow (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SUPAConfig
+from repro.core.inslearn import (
+    InsLearnConfig,
+    InsLearnTrainer,
+    train_conventional,
+    validation_mrr,
+)
+from repro.core.model import SUPA
+
+
+@pytest.fixture
+def model(tiny_synthetic):
+    return SUPA.for_dataset(tiny_synthetic, SUPAConfig(dim=8, seed=0))
+
+
+@pytest.fixture
+def train_stream(tiny_synthetic):
+    train, _, _ = tiny_synthetic.split()
+    return train
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = InsLearnConfig()
+        assert cfg.batch_size == 1024
+        assert cfg.validation_interval == 8
+        assert cfg.validation_size == 150
+        assert cfg.patience == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(batch_size=0),
+            dict(max_iterations=0),
+            dict(validation_interval=0),
+            dict(patience=-1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            InsLearnConfig(**kwargs)
+
+
+class TestFit:
+    def test_processes_every_edge(self, model, train_stream):
+        cfg = InsLearnConfig(
+            batch_size=100, max_iterations=2, validation_interval=1, validation_size=10
+        )
+        report = InsLearnTrainer(model, cfg).fit(train_stream)
+        assert report.total_edges == len(train_stream)
+        assert model.graph.num_edges == len(train_stream)
+
+    def test_batch_count(self, model, train_stream):
+        cfg = InsLearnConfig(
+            batch_size=100, max_iterations=1, validation_interval=1, validation_size=10
+        )
+        report = InsLearnTrainer(model, cfg).fit(train_stream)
+        expected = int(np.ceil(len(train_stream) / 100))
+        assert len(report.batches) == expected
+
+    def test_iteration_cap_respected(self, model, train_stream):
+        cfg = InsLearnConfig(
+            batch_size=200,
+            max_iterations=3,
+            validation_interval=10,  # never validates -> runs to the cap
+            validation_size=10,
+        )
+        report = InsLearnTrainer(model, cfg).fit(train_stream[:200])
+        assert report.batches[0].iterations_run == 3
+
+    def test_early_stopping_can_trigger(self, model, train_stream):
+        cfg = InsLearnConfig(
+            batch_size=200,
+            max_iterations=50,
+            validation_interval=1,
+            validation_size=30,
+            patience=0,
+        )
+        report = InsLearnTrainer(model, cfg).fit(train_stream[:200])
+        assert report.batches[0].iterations_run < 50
+
+    def test_training_improves_validation(self, tiny_synthetic):
+        train, _, test = tiny_synthetic.split()
+        trained = SUPA.for_dataset(tiny_synthetic, SUPAConfig(dim=8, seed=0))
+        cfg = InsLearnConfig(
+            batch_size=200, max_iterations=4, validation_interval=2, validation_size=20
+        )
+        InsLearnTrainer(trained, cfg).fit(train)
+        untrained = SUPA.for_dataset(tiny_synthetic, SUPAConfig(dim=8, seed=0))
+        for e in train:
+            untrained.observe(e.u, e.v, e.edge_type, e.t)
+        score_trained = validation_mrr(trained, list(test)[:50], rng=0)
+        score_untrained = validation_mrr(untrained, list(test)[:50], rng=0)
+        assert score_trained > score_untrained
+
+    def test_report_statistics(self, model, train_stream):
+        cfg = InsLearnConfig(
+            batch_size=150, max_iterations=2, validation_interval=1, validation_size=20
+        )
+        report = InsLearnTrainer(model, cfg).fit(train_stream[:300])
+        assert report.mean_best_score >= 0.0
+        for batch in report.batches:
+            assert batch.mean_loss > 0
+
+
+class TestValidationMRR:
+    def test_empty_edges(self, model):
+        assert validation_mrr(model, []) == 0.0
+
+    def test_in_unit_interval(self, model, train_stream):
+        for e in train_stream[:50]:
+            model.observe(e.u, e.v, e.edge_type, e.t)
+        score = validation_mrr(model, list(train_stream[:20]), rng=0)
+        assert 0.0 <= score <= 1.0
+
+    def test_perfect_model_scores_high(self, tiny_synthetic):
+        """A model trained hard on one pair ranks that pair first."""
+        model = SUPA.for_dataset(tiny_synthetic, SUPAConfig(dim=8, seed=0))
+        e = tiny_synthetic.stream[0]
+        model.observe(e.u, e.v, e.edge_type, e.t)
+        for _ in range(60):
+            model.train_step(e.u, e.v, e.edge_type, e.t + 1, 1.0, 1.0)
+        score = validation_mrr(model, [e], num_candidates=20, rng=0)
+        assert score > 0.5
+
+
+class TestConventionalTraining:
+    def test_epochs_validation(self, model, train_stream):
+        with pytest.raises(ValueError):
+            train_conventional(model, train_stream, epochs=0)
+
+    def test_runs_and_reports(self, model, train_stream):
+        report = train_conventional(model, train_stream[:150], epochs=2)
+        assert report.batches[0].iterations_run == 2
+        assert model.graph.num_edges == 150
+
+    def test_multi_epoch_trains_more(self, tiny_synthetic, train_stream):
+        one = SUPA.for_dataset(tiny_synthetic, SUPAConfig(dim=8, seed=0))
+        train_conventional(one, train_stream[:100], epochs=1)
+        three = SUPA.for_dataset(tiny_synthetic, SUPAConfig(dim=8, seed=0))
+        report = train_conventional(three, train_stream[:100], epochs=3)
+        assert report.batches[0].iterations_run == 3

@@ -1,0 +1,163 @@
+"""Tests for NodeMemory and the sparse Adam optimiser."""
+
+import numpy as np
+import pytest
+
+from repro.core.memory import MemoryOptimizer, NodeMemory, SparseAdam
+
+
+def make_memory(**kwargs):
+    defaults = dict(
+        num_nodes=6, num_edge_types=3, num_node_types=2, dim=4, rng=0
+    )
+    defaults.update(kwargs)
+    return NodeMemory(**defaults)
+
+
+class TestNodeMemory:
+    def test_shapes(self):
+        mem = make_memory()
+        assert mem.long.shape == (6, 4)
+        assert mem.short.shape == (6, 4)
+        assert mem.context.shape == (3, 6, 4)
+        assert mem.alpha.shape == (2,)
+
+    def test_shared_context_slot(self):
+        mem = make_memory(typed_context=False)
+        assert mem.context.shape == (1, 6, 4)
+        assert mem.context_slot(2) == 0
+
+    def test_typed_context_slot(self):
+        mem = make_memory()
+        assert mem.context_slot(2) == 2
+
+    def test_shared_alpha_slot(self):
+        mem = make_memory(typed_alpha=False)
+        assert mem.alpha.shape == (1,)
+        assert mem.alpha_slot(1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_memory(num_nodes=0)
+
+    def test_state_roundtrip(self):
+        mem = make_memory()
+        state = mem.state_dict()
+        mem.long[...] = 0.0
+        mem.load_state_dict(state)
+        assert not np.allclose(mem.long, 0.0)
+
+    def test_state_shape_mismatch(self):
+        mem = make_memory()
+        state = mem.state_dict()
+        state["long"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            mem.load_state_dict(state)
+
+    def test_deterministic_init(self):
+        a = make_memory()
+        b = make_memory()
+        assert np.allclose(a.long, b.long)
+
+
+class TestSparseAdam:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            SparseAdam(np.zeros(3), lr=0.1)
+
+    def test_updates_only_touched_rows(self):
+        param = np.ones((4, 2))
+        opt = SparseAdam(param, lr=0.1)
+        opt.update_rows(np.array([1]), np.array([[1.0, 1.0]]))
+        assert not np.allclose(param[1], 1.0)
+        assert np.allclose(param[0], 1.0)
+        assert np.allclose(param[2:], 1.0)
+
+    def test_empty_rows_noop(self):
+        param = np.ones((2, 2))
+        opt = SparseAdam(param, lr=0.1)
+        opt.update_rows(np.array([], dtype=np.int64), np.zeros((0, 2)))
+        assert np.allclose(param, 1.0)
+
+    def test_grad_shape_mismatch(self):
+        opt = SparseAdam(np.ones((4, 2)), lr=0.1)
+        with pytest.raises(ValueError):
+            opt.update_rows(np.array([0]), np.zeros((2, 2)))
+
+    def test_per_row_bias_correction(self):
+        # Row 0 is updated many times, row 1 once; the fresh row's first
+        # step should match a fresh Adam first step (~lr), not be damped
+        # by the other row's history.
+        param = np.zeros((2, 2))
+        opt = SparseAdam(param, lr=0.1)
+        for _ in range(50):
+            opt.update_rows(np.array([0]), np.ones((1, 2)))
+        opt.update_rows(np.array([1]), np.ones((1, 2)))
+        assert abs(param[1, 0]) == pytest.approx(0.1, rel=1e-5)
+
+    def test_descends_quadratic(self):
+        target = np.array([[2.0, -1.0]])
+        param = np.zeros((1, 2))
+        opt = SparseAdam(param, lr=0.05)
+        for _ in range(500):
+            grad = 2 * (param[[0]] - target)
+            opt.update_rows(np.array([0]), grad)
+        assert np.allclose(param, target, atol=1e-2)
+
+    def test_weight_decay_applied(self):
+        param = np.full((1, 2), 10.0)
+        opt = SparseAdam(param, lr=0.1, weight_decay=0.1)
+        opt.update_rows(np.array([0]), np.zeros((1, 2)))
+        assert np.all(param < 10.0)
+
+    def test_state_roundtrip(self):
+        param = np.ones((2, 2))
+        opt = SparseAdam(param, lr=0.1)
+        opt.update_rows(np.array([0]), np.ones((1, 2)))
+        state = opt.state_dict()
+        opt.update_rows(np.array([0]), np.ones((1, 2)))
+        opt.load_state_dict(state)
+        assert state["steps"][0] == 1
+
+
+class TestMemoryOptimizer:
+    def test_context_row_mapping(self):
+        mem = make_memory()
+        opt = MemoryOptimizer(mem, lr=0.1, weight_decay=0.0)
+        assert opt.context_row(0, 0) == 0
+        assert opt.context_row(1, 2) == 8
+        assert opt.context_row(2, 5) == 17
+
+    def test_step_updates_all_groups(self):
+        mem = make_memory()
+        opt = MemoryOptimizer(mem, lr=0.1, weight_decay=0.0)
+        before_long = mem.long[1].copy()
+        before_short = mem.short[2].copy()
+        before_ctx = mem.context[0, 3].copy()
+        before_alpha = mem.alpha.copy()
+        opt.step(
+            long_grads={1: np.ones(4)},
+            short_grads={2: np.ones(4)},
+            context_grads={opt.context_row(0, 3): np.ones(4)},
+            alpha_grads={0: 1.0},
+        )
+        assert not np.allclose(mem.long[1], before_long)
+        assert not np.allclose(mem.short[2], before_short)
+        assert not np.allclose(mem.context[0, 3], before_ctx)
+        assert mem.alpha[0] != before_alpha[0]
+        assert mem.alpha[1] == before_alpha[1]
+
+    def test_alpha_view_write_through(self):
+        mem = make_memory()
+        opt = MemoryOptimizer(mem, lr=0.1, weight_decay=0.0)
+        opt.step({}, {}, {}, alpha_grads={1: 2.0})
+        assert mem.alpha[1] != 0.0
+
+    def test_state_roundtrip(self):
+        mem = make_memory()
+        opt = MemoryOptimizer(mem, lr=0.1, weight_decay=0.0)
+        opt.step({0: np.ones(4)}, {}, {}, {})
+        state = opt.state_dict()
+        opt.step({0: np.ones(4)}, {}, {}, {})
+        opt.load_state_dict(state)
+        assert opt.long.state_dict()["steps"][0] == 1

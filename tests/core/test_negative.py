@@ -1,0 +1,74 @@
+"""Tests for the negative sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core.negative import NegativeSampler
+from repro.graph.dmhg import DMHG
+from repro.utils.rng import new_rng
+
+
+class TestSampling:
+    def test_respects_node_type(self, small_graph):
+        sampler = NegativeSampler(small_graph)
+        videos = sampler.sample(1, 50, rng=new_rng(0))
+        assert np.all(videos >= 5)
+        users = sampler.sample(0, 50, rng=new_rng(0))
+        assert np.all(users < 5)
+
+    def test_count(self, small_graph):
+        sampler = NegativeSampler(small_graph)
+        assert sampler.sample(0, 7, rng=new_rng(0)).shape == (7,)
+        assert sampler.sample(0, 0, rng=new_rng(0)).size == 0
+
+    def test_negative_count_raises(self, small_graph):
+        sampler = NegativeSampler(small_graph)
+        with pytest.raises(ValueError):
+            sampler.sample(0, -1)
+
+    def test_degree_weighting(self, schema):
+        g = DMHG(schema)
+        g.add_nodes("user", 2)
+        g.add_nodes("video", 2)
+        # video 2 has 9 edges, video 3 has 1.
+        for i in range(9):
+            g.add_edge(0, 2, "click", float(i))
+        g.add_edge(0, 3, "click", 10.0)
+        sampler = NegativeSampler(g)
+        samples = sampler.sample(1, 5000, rng=new_rng(0))
+        frac_popular = np.mean(samples == 2)
+        expected = 9**0.75 / (9**0.75 + 1.0)
+        assert frac_popular == pytest.approx(expected, abs=0.03)
+
+    def test_uniform_fallback_for_zero_degrees(self, schema):
+        g = DMHG(schema)
+        g.add_nodes("user", 3)
+        g.add_nodes("video", 3)
+        sampler = NegativeSampler(g)
+        samples = sampler.sample(0, 300, rng=new_rng(0))
+        assert set(np.unique(samples)) == {0, 1, 2}
+
+    def test_empty_type_gives_empty(self, schema):
+        g = DMHG(schema)
+        g.add_nodes("user", 2)
+        sampler = NegativeSampler(g)
+        assert sampler.sample(1, 5, rng=new_rng(0)).size == 0
+
+
+class TestRefresh:
+    def test_tick_triggers_refresh(self, small_graph):
+        sampler = NegativeSampler(small_graph, refresh_every=2)
+        # A new node with fresh edges becomes visible only after refresh.
+        new_video = small_graph.add_node("video")
+        for i in range(20):
+            small_graph.add_edge(0, new_video, "click", 100.0 + i)
+        before = sampler.sample(1, 500, rng=new_rng(0))
+        assert new_video not in before
+        sampler.tick()
+        sampler.tick()
+        after = sampler.sample(1, 2000, rng=new_rng(0))
+        assert new_video in after
+
+    def test_refresh_every_validation(self, small_graph):
+        with pytest.raises(ValueError):
+            NegativeSampler(small_graph, refresh_every=0)

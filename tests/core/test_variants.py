@@ -1,0 +1,83 @@
+"""Tests for the ablation variant factories."""
+
+import pytest
+
+from repro.core.config import SUPAConfig
+from repro.core.variants import VARIANT_BUILDERS, make_variant
+
+
+BASE = SUPAConfig(dim=8)
+
+
+class TestLossVariants:
+    def test_single_loss_variants(self):
+        inter = make_variant("supa_inter", BASE)
+        assert inter.use_inter and not inter.use_prop and not inter.use_neg
+        prop = make_variant("supa_prop", BASE)
+        assert prop.use_prop and not prop.use_inter and not prop.use_neg
+        neg = make_variant("supa_neg", BASE)
+        assert neg.use_neg and not neg.use_inter and not neg.use_prop
+
+    def test_without_loss_variants(self):
+        assert not make_variant("supa_wo_inter", BASE).use_inter
+        assert not make_variant("supa_wo_prop", BASE).use_prop
+        assert not make_variant("supa_wo_neg", BASE).use_neg
+
+    def test_wo_ins_config_equals_full(self):
+        assert make_variant("supa_wo_ins", BASE) == make_variant("supa", BASE)
+
+
+class TestHeterogeneityVariants:
+    def test_sn_shares_alpha(self):
+        cfg = make_variant("supa_sn", BASE)
+        assert not cfg.typed_alpha and cfg.typed_context
+
+    def test_se_shares_context(self):
+        cfg = make_variant("supa_se", BASE)
+        assert cfg.typed_alpha and not cfg.typed_context
+
+    def test_s_removes_both(self):
+        cfg = make_variant("supa_s", BASE)
+        assert not cfg.typed_alpha and not cfg.typed_context
+
+
+class TestDynamicsVariants:
+    def test_nf_removes_short_term(self):
+        assert not make_variant("supa_nf", BASE).use_short_term
+
+    def test_nd_removes_propagation_decay(self):
+        cfg = make_variant("supa_nd", BASE)
+        assert not cfg.use_propagation_decay and cfg.use_forgetting
+
+    def test_nt_removes_all_time(self):
+        cfg = make_variant("supa_nt", BASE)
+        assert not cfg.use_forgetting and not cfg.use_propagation_decay
+
+
+class TestRegistry:
+    def test_all_table_rows_present(self):
+        expected = {
+            "supa",
+            "supa_inter",
+            "supa_prop",
+            "supa_neg",
+            "supa_wo_inter",
+            "supa_wo_prop",
+            "supa_wo_neg",
+            "supa_wo_ins",
+            "supa_sn",
+            "supa_se",
+            "supa_s",
+            "supa_nf",
+            "supa_nd",
+            "supa_nt",
+        }
+        assert set(VARIANT_BUILDERS) == expected
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(KeyError, match="unknown SUPA variant"):
+            make_variant("supa_xyz", BASE)
+
+    def test_base_not_mutated(self):
+        make_variant("supa_s", BASE)
+        assert BASE.typed_alpha and BASE.typed_context

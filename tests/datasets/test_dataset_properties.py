@@ -1,0 +1,72 @@
+"""Property-based tests over the synthetic generator's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import BehaviorSpec, SyntheticConfig, generate
+
+
+@given(
+    n_users=st.integers(5, 25),
+    n_items=st.integers(5, 30),
+    n_events=st.integers(10, 120),
+    seed=st.integers(0, 500),
+)
+@settings(max_examples=25, deadline=None)
+def test_bipartite_edges_respect_layout(n_users, n_items, n_events, seed):
+    """Every generated edge connects a user id to an item id, with
+    non-decreasing timestamps and ids inside the declared ranges."""
+    ds = generate(
+        SyntheticConfig(
+            n_users=n_users, n_items=n_items, n_events=n_events, seed=seed
+        )
+    )
+    lo_u, hi_u = ds.type_range("user")
+    lo_i, hi_i = ds.type_range("item")
+    ts = ds.stream.timestamps()
+    assert np.all(np.diff(ts) >= 0)
+    for e in ds.stream:
+        assert lo_u <= e.u < hi_u
+        assert lo_i <= e.v < hi_i
+
+
+@given(divergence=st.floats(0.0, 1.0), seed=st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_divergence_always_produces_valid_streams(divergence, seed):
+    ds = generate(
+        SyntheticConfig(
+            n_users=10,
+            n_items=15,
+            n_events=50,
+            behaviors=(
+                BehaviorSpec("a", 1.0, 0.5),
+                BehaviorSpec("b", 0.5, 1.5),
+            ),
+            behavior_divergence=divergence,
+            seed=seed,
+        )
+    )
+    assert ds.num_edges == 50
+    kinds = {e.edge_type for e in ds.stream}
+    assert kinds <= {"a", "b"}
+
+
+def test_divergence_out_of_range_rejected():
+    with pytest.raises(ValueError, match="behavior_divergence"):
+        generate(
+            SyntheticConfig(
+                n_users=5, n_items=5, n_events=5, behavior_divergence=1.5
+            )
+        )
+
+
+@given(seed=st.integers(0, 300))
+@settings(max_examples=15, deadline=None)
+def test_statistics_consistent(seed):
+    """|E| equals the stream length; |T| never exceeds |E|."""
+    ds = generate(SyntheticConfig(n_users=8, n_items=10, n_events=40, seed=seed))
+    stats = ds.statistics()
+    assert stats["|E|"] == len(ds.stream)
+    assert stats["|T|"] <= stats["|E|"]

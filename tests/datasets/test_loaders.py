@@ -1,0 +1,54 @@
+"""Tests for TSV edge-list IO."""
+
+import pytest
+
+from repro.datasets.loaders import dataset_from_edges, load_edge_tsv, save_edge_tsv
+from repro.graph.streams import EdgeStream, StreamEdge
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path, small_stream):
+        path = str(tmp_path / "edges.tsv")
+        save_edge_tsv(small_stream, path)
+        loaded = load_edge_tsv(path)
+        assert [(e.u, e.v, e.edge_type, e.t) for e in loaded] == [
+            (e.u, e.v, e.edge_type, e.t) for e in small_stream
+        ]
+
+    def test_float_precision_preserved(self, tmp_path):
+        stream = EdgeStream([StreamEdge(0, 1, "r", 1.23456789012345)])
+        path = str(tmp_path / "e.tsv")
+        save_edge_tsv(stream, path)
+        assert load_edge_tsv(path)[0].t == 1.23456789012345
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_edge_tsv(str(tmp_path / "nope.tsv"))
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a\tb\n")
+        with pytest.raises(ValueError, match="unexpected header"):
+            load_edge_tsv(str(path))
+
+    def test_bad_column_count(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("u\tv\tedge_type\tt\n1\t2\n")
+        with pytest.raises(ValueError, match="expected 4 columns"):
+            load_edge_tsv(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ok.tsv"
+        path.write_text("u\tv\tedge_type\tt\n0\t1\tr\t1.0\n\n")
+        assert len(load_edge_tsv(str(path))) == 1
+
+
+def test_dataset_from_edges(schema, small_stream, metapath):
+    ds = dataset_from_edges(
+        "custom", schema, [("user", 5), ("video", 5)], small_stream, [metapath]
+    )
+    assert ds.name == "custom"
+    assert ds.num_edges == len(small_stream)
+    assert ds.metapaths == [metapath]

@@ -1,0 +1,146 @@
+"""Tests for the synthetic DMHG generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    BehaviorSpec,
+    SyntheticConfig,
+    default_metapaths,
+    generate,
+)
+
+
+def small_cfg(**kwargs):
+    defaults = dict(n_users=20, n_items=30, n_events=200, seed=1)
+    defaults.update(kwargs)
+    return SyntheticConfig(**defaults)
+
+
+class TestValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            small_cfg(mode="weird")
+
+    def test_zero_events(self):
+        with pytest.raises(ValueError):
+            small_cfg(n_events=0)
+
+    def test_no_behaviors(self):
+        with pytest.raises(ValueError):
+            small_cfg(behaviors=())
+
+    def test_authors_need_count(self):
+        with pytest.raises(ValueError):
+            small_cfg(with_authors=True, n_authors=0)
+
+
+class TestBipartite:
+    def test_node_layout(self):
+        ds = generate(small_cfg())
+        assert ds.type_range("user") == (0, 20)
+        assert ds.type_range("item") == (20, 50)
+
+    def test_edges_user_to_item(self):
+        ds = generate(small_cfg())
+        for e in ds.stream:
+            assert 0 <= e.u < 20
+            assert 20 <= e.v < 50
+
+    def test_deterministic_per_seed(self):
+        a = generate(small_cfg())
+        b = generate(small_cfg())
+        assert [(e.u, e.v, e.t) for e in a.stream] == [
+            (e.u, e.v, e.t) for e in b.stream
+        ]
+
+    def test_seeds_differ(self):
+        a = generate(small_cfg(seed=1))
+        b = generate(small_cfg(seed=2))
+        assert [(e.u, e.v) for e in a.stream] != [(e.u, e.v) for e in b.stream]
+
+    def test_multiplex_behaviors_all_present(self):
+        cfg = small_cfg(
+            n_events=800,
+            behaviors=(
+                BehaviorSpec("view", 1.0, 0.2),
+                BehaviorSpec("buy", 0.3, 1.5),
+            ),
+        )
+        ds = generate(cfg)
+        kinds = {e.edge_type for e in ds.stream}
+        assert kinds == {"view", "buy"}
+
+    def test_affinity_gain_raises_behavior_share(self):
+        """Raising a behaviour's affinity gain makes it fire more often
+        on this preference-aligned stream."""
+
+        def buy_share(gain):
+            cfg = small_cfg(
+                n_events=2000,
+                behaviors=(
+                    BehaviorSpec("view", 1.0, 0.0),
+                    BehaviorSpec("buy", 0.25, gain),
+                ),
+                seed=3,
+            )
+            ds = generate(cfg)
+            return sum(e.edge_type == "buy" for e in ds.stream) / ds.num_edges
+
+        assert buy_share(3.0) > buy_share(0.0)
+
+    def test_timestamps_increasing(self):
+        ds = generate(small_cfg())
+        ts = ds.stream.timestamps()
+        assert np.all(np.diff(ts) >= 0)
+
+    def test_static_single_timestamp(self):
+        ds = generate(small_cfg(static=True))
+        assert ds.statistics()["|T|"] == 1
+
+    def test_authors_and_uploads(self):
+        cfg = small_cfg(with_authors=True, n_authors=5)
+        ds = generate(cfg)
+        assert ds.type_range("author") == (50, 55)
+        uploads = [e for e in ds.stream if e.edge_type == "upload"]
+        assert len(uploads) == 30  # one per item
+        uploaded_items = {e.v for e in uploads}
+        assert uploaded_items == set(range(20, 50))
+
+    def test_freshness_decay_runs(self):
+        ds = generate(small_cfg(freshness_decay=0.01, n_events=300))
+        assert ds.num_edges >= 300
+
+
+class TestHomogeneous:
+    def test_single_node_type(self):
+        ds = generate(small_cfg(mode="homogeneous"))
+        assert ds.schema.num_node_types == 1
+        assert ds.num_nodes == 20
+
+    def test_no_self_loops(self):
+        ds = generate(small_cfg(mode="homogeneous", n_events=500))
+        assert all(e.u != e.v for e in ds.stream)
+
+
+class TestMetapaths:
+    def test_homogeneous_metapath(self):
+        cfg = small_cfg(mode="homogeneous")
+        paths = default_metapaths(cfg)
+        assert len(paths) == 1
+        assert paths[0].head == "user"
+
+    def test_bipartite_metapaths(self):
+        paths = default_metapaths(small_cfg())
+        heads = {p.head for p in paths}
+        assert heads == {"user", "item"}
+
+    def test_author_metapaths(self):
+        paths = default_metapaths(small_cfg(with_authors=True, n_authors=3))
+        heads = {p.head for p in paths}
+        assert "author" in heads
+
+    def test_generated_metapaths_validate(self):
+        ds = generate(small_cfg(with_authors=True, n_authors=3))
+        for mp in ds.metapaths:
+            mp.validate_against(ds.schema)

@@ -1,0 +1,71 @@
+"""Tests for the six paper-dataset equivalents (Table III shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.zoo import DATASET_BUILDERS, load_dataset
+
+
+SCALE = 0.25  # keep zoo tests fast
+
+
+class TestTableIIIShapes:
+    """Each dataset must mirror its original's |O| / |R| / temporality."""
+
+    @pytest.mark.parametrize(
+        "name, num_o, num_r, is_static",
+        [
+            ("uci", 1, 1, False),
+            ("amazon", 1, 2, True),
+            ("lastfm", 2, 1, False),
+            ("movielens", 2, 2, False),
+            ("taobao", 2, 4, False),
+            ("kuaishou", 3, 5, False),
+        ],
+    )
+    def test_schema_shape(self, name, num_o, num_r, is_static):
+        ds = load_dataset(name, scale=SCALE)
+        stats = ds.statistics()
+        assert stats["|O|"] == num_o
+        assert stats["|R|"] == num_r
+        if is_static:
+            assert stats["|T|"] == 1
+        else:
+            assert stats["|T|"] > 1
+
+    @pytest.mark.parametrize("name", sorted(DATASET_BUILDERS))
+    def test_metapaths_declared_and_valid(self, name):
+        ds = load_dataset(name, scale=SCALE)
+        assert ds.metapaths
+        for mp in ds.metapaths:
+            mp.validate_against(ds.schema)
+
+    @pytest.mark.parametrize("name", sorted(DATASET_BUILDERS))
+    def test_deterministic(self, name):
+        a = load_dataset(name, scale=SCALE, seed=3)
+        b = load_dataset(name, scale=SCALE, seed=3)
+        assert [(e.u, e.v, e.edge_type) for e in a.stream] == [
+            (e.u, e.v, e.edge_type) for e in b.stream
+        ]
+
+    @pytest.mark.parametrize("name", sorted(DATASET_BUILDERS))
+    def test_splits_work(self, name):
+        ds = load_dataset(name, scale=SCALE)
+        train, valid, test = ds.split()
+        assert len(train) > len(test) > 0
+
+    def test_scale_grows_dataset(self):
+        small = load_dataset("uci", scale=0.2)
+        large = load_dataset("uci", scale=0.5)
+        assert large.num_edges > small.num_edges
+        assert large.num_nodes > small.num_nodes
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("netflix")
+
+    def test_kuaishou_has_upload_edges(self):
+        ds = load_dataset("kuaishou", scale=SCALE)
+        kinds = {e.edge_type for e in ds.stream}
+        assert "upload" in kinds
+        assert "watch" in kinds

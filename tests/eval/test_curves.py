@@ -1,0 +1,106 @@
+"""Tests for rank-curve metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.curves import (
+    auc_from_ranks,
+    catalogue_coverage,
+    hit_curve,
+    ndcg_curve,
+    precision_at_k,
+    rank_distribution_summary,
+    recall_at_k,
+)
+
+
+class TestCurves:
+    def test_hit_curve_monotone(self):
+        ranks = [1, 5, 12, 40]
+        curve = hit_curve(ranks, [1, 5, 10, 50])
+        values = [curve[k] for k in sorted(curve)]
+        assert values == sorted(values)
+        assert curve[50] == 1.0
+
+    def test_ndcg_curve_bounded(self):
+        curve = ndcg_curve([1, 3, 9], [1, 5, 10])
+        assert all(0.0 <= v <= 1.0 for v in curve.values())
+
+
+class TestPrecisionRecall:
+    def test_precision_is_hits_over_k(self):
+        assert precision_at_k([1, 2, 50], 10) == pytest.approx((2 / 3) / 10)
+
+    def test_recall_equals_hit_rate(self):
+        assert recall_at_k([1, 2, 50], 10) == pytest.approx(2 / 3)
+
+    def test_precision_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], 0)
+
+    def test_empty(self):
+        assert precision_at_k([], 5) == 0.0
+
+
+class TestAUC:
+    def test_perfect(self):
+        assert auc_from_ranks([1, 1, 1], 100) == pytest.approx(1.0)
+
+    def test_worst(self):
+        assert auc_from_ranks([100], 100) == pytest.approx(0.0)
+
+    def test_random_mid(self):
+        # mid-rank everywhere -> AUC ~ 0.5
+        assert auc_from_ranks([50.5], 100) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            auc_from_ranks([1], 1)
+
+    def test_empty_is_chance(self):
+        assert auc_from_ranks([], 10) == 0.5
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        assert catalogue_coverage([[0, 1], [2, 3]], 4) == 1.0
+
+    def test_partial(self):
+        assert catalogue_coverage([[0], [0], [0]], 4) == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            catalogue_coverage([], 0)
+
+    def test_empty_lists(self):
+        assert catalogue_coverage([], 10) == 0.0
+
+
+class TestSummary:
+    def test_keys(self):
+        s = rank_distribution_summary([1, 2, 3, 4, 5])
+        assert s["count"] == 5
+        assert s["median"] == 3.0
+        assert s["p25"] <= s["median"] <= s["p75"]
+
+    def test_empty(self):
+        assert rank_distribution_summary([])["count"] == 0
+
+
+@given(
+    ranks=st.lists(st.integers(1, 100), min_size=1, max_size=50),
+    k=st.integers(1, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_precision_recall_consistency(ranks, k):
+    """precision@K * K == recall@K (single ground truth per query)."""
+    assert precision_at_k(ranks, k) * k == pytest.approx(recall_at_k(ranks, k))
+
+
+@given(ranks=st.lists(st.integers(1, 99), min_size=1, max_size=50))
+@settings(max_examples=40, deadline=None)
+def test_auc_in_unit_interval(ranks):
+    auc = auc_from_ranks(ranks, 100)
+    assert 0.0 <= auc <= 1.0

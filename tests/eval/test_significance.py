@@ -1,0 +1,45 @@
+"""Tests for the paired t-test helper."""
+
+import numpy as np
+import pytest
+
+from repro.eval.significance import paired_t_test
+
+
+class TestPairedTTest:
+    def test_clear_improvement_significant(self):
+        rng = np.random.default_rng(0)
+        good = rng.integers(1, 4, size=200)  # low ranks = good
+        bad = good + rng.integers(5, 20, size=200)
+        result = paired_t_test(good, bad)
+        assert result.mean_difference > 0
+        assert result.significant(alpha=0.01)
+
+    def test_identical_not_significant(self):
+        ranks = np.arange(1, 50, dtype=float)
+        result = paired_t_test(ranks, ranks)
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_worse_model_not_significant(self):
+        rng = np.random.default_rng(0)
+        bad = rng.integers(10, 30, size=100)
+        good = rng.integers(1, 5, size=100)
+        result = paired_t_test(bad, good)
+        assert result.mean_difference < 0
+        assert not result.significant()
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1, 2], [1, 2, 3])
+
+    def test_too_few_queries(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1], [2])
+
+    def test_small_noise_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(1, 50, size=30).astype(float)
+        b = a + rng.normal(0, 0.01, size=30)
+        result = paired_t_test(a, b)
+        assert not result.significant(alpha=0.001)

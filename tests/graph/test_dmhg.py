@@ -1,0 +1,193 @@
+"""Tests for the DMHG container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.dmhg import DMHG
+from repro.graph.schema import GraphSchema
+
+
+class TestNodes:
+    def test_add_node_assigns_sequential_ids(self, schema):
+        g = DMHG(schema)
+        assert g.add_node("user") == 0
+        assert g.add_node("video") == 1
+        assert g.num_nodes == 2
+
+    def test_node_type(self, small_graph):
+        assert small_graph.node_type(0) == "user"
+        assert small_graph.node_type(5) == "video"
+        assert small_graph.node_type_id(5) == 1
+
+    def test_nodes_of_type(self, small_graph):
+        assert small_graph.nodes_of_type("user") == [0, 1, 2, 3, 4]
+        assert small_graph.nodes_of_type("video") == [5, 6, 7, 8, 9]
+
+    def test_node_type_ids_array(self, small_graph):
+        ids = small_graph.node_type_ids()
+        assert ids.shape == (10,)
+        assert list(ids[:5]) == [0] * 5
+
+    def test_out_of_range_raises(self, small_graph):
+        with pytest.raises(IndexError):
+            small_graph.node_type(99)
+
+
+class TestEdges:
+    def test_add_edge_counts(self, small_graph):
+        assert small_graph.num_edges == 8
+
+    def test_add_edge_wrong_endpoint_types(self, small_graph):
+        with pytest.raises(ValueError, match="connects user->video"):
+            small_graph.add_edge(5, 0, "click", 9.0)
+
+    def test_add_edge_unknown_type(self, small_graph):
+        with pytest.raises(KeyError):
+            small_graph.add_edge(0, 5, "share", 9.0)
+
+    def test_add_edge_unknown_node(self, small_graph):
+        with pytest.raises(IndexError):
+            small_graph.add_edge(0, 99, "click", 9.0)
+
+    def test_edges_iteration_order(self, small_graph):
+        edges = list(small_graph.edges())
+        assert [e.t for e in edges] == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+
+    def test_edge_at(self, small_graph):
+        e = small_graph.edge_at(0)
+        assert (e.u, e.v, e.t) == (0, 5, 1.0)
+
+    def test_degree_counts_both_endpoints(self, small_graph):
+        assert small_graph.degree(0) == 2
+        assert small_graph.degree(5) == 2
+
+    def test_degree_sum_is_twice_edges(self, small_graph):
+        assert small_graph.degrees().sum() == 2 * small_graph.num_edges
+
+    def test_last_interaction_time(self, small_graph):
+        assert small_graph.last_interaction_time(0) == 2.0
+        assert small_graph.last_interaction_time(5) == 3.0
+
+    def test_last_time_never_seen(self, schema):
+        g = DMHG(schema)
+        g.add_node("user")
+        assert g.last_interaction_time(0) == -np.inf
+
+    def test_last_interaction_times_vectorised(self, small_graph):
+        times = small_graph.last_interaction_times([0, 5])
+        assert list(times) == [2.0, 3.0]
+
+
+class TestDeletion:
+    def test_remove_edge(self, small_graph):
+        small_graph.remove_edge(0)
+        assert small_graph.num_edges == 7
+        assert not small_graph.edge_alive(0)
+        assert small_graph.degree(0) == 1
+
+    def test_remove_idempotent(self, small_graph):
+        small_graph.remove_edge(0)
+        small_graph.remove_edge(0)
+        assert small_graph.num_edges == 7
+
+    def test_removed_edge_not_traversable(self, small_graph):
+        small_graph.remove_edge(0)
+        assert all(other != 5 for other, _, _, _ in small_graph.neighbors(0))
+
+    def test_remove_out_of_range(self, small_graph):
+        with pytest.raises(IndexError):
+            small_graph.remove_edge(99)
+
+
+class TestNeighbors:
+    def test_basic(self, small_graph):
+        nbrs = small_graph.neighbors(0)
+        assert {n for n, _, _, _ in nbrs} == {5, 6}
+
+    def test_edge_type_filter(self, small_graph):
+        nbrs = small_graph.neighbors(0, edge_types=["like"])
+        assert {n for n, _, _, _ in nbrs} == {6}
+
+    def test_node_type_filter(self, small_graph):
+        assert small_graph.neighbors(0, node_type="user") == []
+
+    def test_time_window_filter(self, small_graph):
+        # Node 5 interacted at t=1 and t=3; at now=3 a window of 1 keeps
+        # only the t=3 edge.
+        nbrs = small_graph.neighbors(5, now=3.0, within=1.0)
+        assert {n for n, _, _, _ in nbrs} == {1}
+
+    def test_neighbors_ids_fast_path_matches(self, small_graph):
+        slow = small_graph.neighbors(0, edge_types=["click"], node_type="video")
+        fast = small_graph.neighbors_ids(0, rel_ids=frozenset({0}), type_id=1)
+        assert [(n, r, t, i) for n, r, t, i in slow] == [tuple(e) for e in fast]
+
+
+class TestRecencyCap:
+    def test_cap_drops_oldest(self, schema):
+        g = DMHG(schema, max_neighbors=2)
+        g.add_nodes("user", 1)
+        g.add_nodes("video", 4)
+        for i, v in enumerate((1, 2, 3)):
+            g.add_edge(0, v, "click", float(i))
+        nbrs = {n for n, _, _, _ in g.neighbors(0)}
+        assert nbrs == {2, 3}  # the oldest neighbour (1) fell out
+
+    def test_cap_validation(self, schema):
+        with pytest.raises(ValueError):
+            DMHG(schema, max_neighbors=0)
+
+    def test_cap_does_not_remove_global_edges(self, schema):
+        g = DMHG(schema, max_neighbors=1)
+        g.add_nodes("user", 1)
+        g.add_nodes("video", 3)
+        g.add_edge(0, 1, "click", 1.0)
+        g.add_edge(0, 2, "click", 2.0)
+        assert g.num_edges == 2
+
+
+class TestViews:
+    def test_snapshot_until(self, small_graph):
+        snap = small_graph.snapshot_until(4.0)
+        assert snap.num_edges == 4
+        assert snap.num_nodes == small_graph.num_nodes
+
+    def test_snapshot_excludes_deleted(self, small_graph):
+        small_graph.remove_edge(0)
+        snap = small_graph.snapshot_until(10.0)
+        assert snap.num_edges == 7
+
+    def test_copy_with_new_cap(self, small_graph):
+        copy = small_graph.copy(max_neighbors=1)
+        assert copy.max_neighbors == 1
+        assert copy.num_edges == small_graph.num_edges
+
+    def test_copy_is_independent(self, small_graph):
+        copy = small_graph.copy()
+        copy.add_edge(0, 5, "click", 99.0)
+        assert small_graph.num_edges == 8
+
+    def test_statistics(self, small_graph):
+        stats = small_graph.statistics()
+        assert stats == {"|V|": 10, "|E|": 8, "|O|": 2, "|R|": 2, "|T|": 8}
+
+    def test_repr(self, small_graph):
+        assert "|V|=10" in repr(small_graph)
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=1, max_size=30
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_degree_invariant_under_random_edges(edges):
+    """Sum of degrees is always twice the live edge count."""
+    schema = GraphSchema.create(["n"], ["r"])
+    g = DMHG(schema)
+    g.add_nodes("n", 5)
+    for t, (u, v) in enumerate(edges):
+        g.add_edge(u, v, "r", float(t))
+    assert g.degrees().sum() == 2 * g.num_edges

@@ -1,0 +1,112 @@
+"""Tests for multiplex metapath schemas."""
+
+import pytest
+
+from repro.graph.metapath import MultiplexMetapath, schema_index
+from repro.graph.schema import GraphSchema
+
+
+class TestSchemaIndex:
+    def test_wraps_with_period(self):
+        assert [schema_index(i, 2) for i in range(5)] == [0, 1, 0, 1, 0]
+
+    def test_period_one(self):
+        assert schema_index(7, 1) == 0
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            schema_index(0, 0)
+
+
+class TestConstruction:
+    def test_create(self, metapath):
+        assert len(metapath) == 3
+        assert metapath.head == "user"
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError, match="at least two"):
+            MultiplexMetapath.create(["user"], [])
+
+    def test_wrong_edge_set_count(self):
+        with pytest.raises(ValueError, match="edge type sets"):
+            MultiplexMetapath.create(["a", "b"], [["r"], ["r"]])
+
+    def test_empty_edge_set(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            MultiplexMetapath.create(["a", "b"], [[]])
+
+
+class TestSymmetry:
+    def test_symmetric_detection(self, metapath):
+        assert metapath.is_symmetric
+
+    def test_asymmetric_detection(self):
+        mp = MultiplexMetapath.create(["u", "v", "a"], [["r1"], ["r2"]])
+        assert not mp.is_symmetric
+
+    def test_symmetrized_eq4(self):
+        mp = MultiplexMetapath.create(["u", "v", "a"], [["r1"], ["r2"]])
+        sym = mp.symmetrized()
+        assert sym.node_types == ("u", "v", "a", "v", "u")
+        assert sym.edge_type_sets == (
+            frozenset({"r1"}),
+            frozenset({"r2"}),
+            frozenset({"r2"}),
+            frozenset({"r1"}),
+        )
+        assert sym.is_symmetric
+
+    def test_symmetrized_noop_on_symmetric(self, metapath):
+        assert metapath.symmetrized() is metapath
+
+
+class TestWrapping:
+    def test_node_type_at_wraps(self, metapath):
+        # user -> video -> user -> video -> ...
+        assert [metapath.node_type_at(i) for i in range(5)] == [
+            "user",
+            "video",
+            "user",
+            "video",
+            "user",
+        ]
+
+    def test_edge_types_at_wraps(self, metapath):
+        assert metapath.edge_types_at(0) == metapath.edge_types_at(2)
+
+    def test_negative_position_raises(self, metapath):
+        with pytest.raises(ValueError):
+            metapath.node_type_at(-1)
+        with pytest.raises(ValueError):
+            metapath.edge_types_at(-1)
+
+
+class TestValidation:
+    def test_validate_against_ok(self, metapath, schema):
+        metapath.validate_against(schema)
+
+    def test_unknown_node_type(self, schema):
+        mp = MultiplexMetapath.create(["author", "video"], [["click"]])
+        with pytest.raises(KeyError):
+            mp.validate_against(schema)
+
+    def test_unknown_edge_type(self, schema):
+        mp = MultiplexMetapath.create(["user", "video"], [["share"]])
+        with pytest.raises(KeyError):
+            mp.validate_against(schema)
+
+    def test_incompatible_endpoints(self):
+        schema = GraphSchema.create(
+            ["user", "video", "author"],
+            ["click", "upload"],
+            {"click": ("user", "video"), "upload": ("author", "video")},
+        )
+        mp = MultiplexMetapath.create(["user", "author"], [["click"]])
+        with pytest.raises(ValueError, match="between user and author"):
+            mp.validate_against(schema)
+
+
+def test_describe(metapath):
+    assert metapath.describe() == (
+        "user -{click,like}-> video -{click,like}-> user"
+    )

@@ -1,0 +1,145 @@
+"""Tests for metapath walks and influenced graph sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.dmhg import DMHG
+from repro.graph.metapath import MultiplexMetapath
+from repro.graph.sampling import (
+    CompiledMetapathSet,
+    InfluencedGraph,
+    applicable_metapaths,
+    random_walk_corpus,
+    sample_influenced_graph,
+    sample_influenced_graph_compiled,
+    sample_metapath_walk,
+)
+from repro.graph.schema import GraphSchema
+
+
+class TestMetapathWalk:
+    def test_walk_respects_types(self, small_graph, metapath):
+        for seed in range(10):
+            walk = sample_metapath_walk(small_graph, 0, metapath, 6, rng=seed)
+            for i, step in enumerate(walk.steps):
+                expected = metapath.node_type_at(i)
+                assert small_graph.node_type(step.node) == expected
+
+    def test_walk_respects_edge_types(self, small_graph):
+        mp = MultiplexMetapath.create(["user", "video", "user"], [["like"], ["like"]])
+        walk = sample_metapath_walk(small_graph, 0, mp, 6, rng=0)
+        for step in walk.hops():
+            assert small_graph.schema.edge_types[step.rel] == "like"
+
+    def test_walk_stops_without_candidates(self, schema, metapath):
+        g = DMHG(schema)
+        g.add_nodes("user", 1)
+        g.add_nodes("video", 1)
+        walk = sample_metapath_walk(g, 0, metapath, 5, rng=0)
+        assert len(walk) == 1  # isolated start node
+
+    def test_wrong_head_type_raises(self, small_graph, metapath):
+        with pytest.raises(ValueError, match="metapath head"):
+            sample_metapath_walk(small_graph, 5, metapath, 5, rng=0)
+
+    def test_bad_length_raises(self, small_graph, metapath):
+        with pytest.raises(ValueError):
+            sample_metapath_walk(small_graph, 0, metapath, 0, rng=0)
+
+    def test_deterministic_per_seed(self, small_graph, metapath):
+        a = sample_metapath_walk(small_graph, 0, metapath, 6, rng=3)
+        b = sample_metapath_walk(small_graph, 0, metapath, 6, rng=3)
+        assert a.nodes() == b.nodes()
+
+    def test_walk_accessors(self, small_graph, metapath):
+        walk = sample_metapath_walk(small_graph, 0, metapath, 4, rng=0)
+        assert walk.start == 0
+        assert len(walk.hops()) == len(walk) - 1
+
+
+class TestInfluencedGraph:
+    def test_walk_counts(self, small_graph, metapath):
+        ig = sample_influenced_graph(
+            small_graph, 0, 6, "click", 9.0, [metapath], num_walks=3, walk_length=4, rng=0
+        )
+        assert len(ig.walks_u) <= 3
+        assert ig.u == 0 and ig.v == 6
+
+    def test_influenced_excludes_interactive_nodes(self, small_graph, metapath):
+        ig = sample_influenced_graph(
+            small_graph, 0, 6, "click", 9.0, [metapath], num_walks=5, walk_length=5, rng=0
+        )
+        influenced = ig.influenced_nodes()
+        assert 0 not in influenced
+        assert 6 not in influenced
+
+    def test_no_applicable_metapath_gives_empty(self, small_graph):
+        mp = MultiplexMetapath.create(["video", "user", "video"], [["click"], ["click"]])
+        ig = sample_influenced_graph(
+            small_graph, 0, 5, "click", 9.0, [mp], num_walks=3, walk_length=4, rng=0
+        )
+        assert ig.walks_u == []  # node 0 is a user; metapath heads at video
+        assert len(ig.walks_v) > 0  # node 5 is a video with click edges
+
+    def test_negative_walks_raises(self, small_graph, metapath):
+        with pytest.raises(ValueError):
+            sample_influenced_graph(
+                small_graph, 0, 6, "click", 9.0, [metapath], num_walks=-1, walk_length=4
+            )
+
+    def test_compiled_variant_matches_semantics(self, small_graph, metapath):
+        compiled = CompiledMetapathSet([metapath], small_graph.schema)
+        ig = sample_influenced_graph_compiled(
+            small_graph, 0, 6, 0, 9.0, compiled, num_walks=4, walk_length=4,
+            rng=np.random.default_rng(0),
+        )
+        assert isinstance(ig, InfluencedGraph)
+        for walk in ig.walks:
+            for i, step in enumerate(walk.steps):
+                assert small_graph.node_type(step.node) == metapath.node_type_at(i)
+
+    def test_applicable_metapaths(self, metapath):
+        assert applicable_metapaths([metapath], "user") == [metapath]
+        assert applicable_metapaths([metapath], "video") == []
+
+
+class TestCorpus:
+    def test_unconstrained_corpus(self, small_graph):
+        corpus = random_walk_corpus(small_graph, num_walks=2, walk_length=4, rng=0)
+        assert corpus
+        for walk in corpus:
+            assert len(walk) > 1
+
+    def test_metapath_corpus_respects_types(self, small_graph, metapath):
+        corpus = random_walk_corpus(
+            small_graph, num_walks=2, walk_length=4, rng=0, metapaths=[metapath]
+        )
+        for walk in corpus:
+            assert small_graph.node_type(walk[0]) == "user"
+
+    def test_isolated_nodes_skipped(self, schema):
+        g = DMHG(schema)
+        g.add_nodes("user", 3)
+        assert random_walk_corpus(g, 2, 4, rng=0) == []
+
+
+@given(seed=st.integers(0, 1000), length=st.integers(2, 8))
+@settings(max_examples=40, deadline=None)
+def test_walk_edges_exist_in_graph(seed, length):
+    """Every hop of a sampled walk corresponds to a real graph edge."""
+    schema = GraphSchema.create(["a"], ["r"])
+    g = DMHG(schema)
+    g.add_nodes("a", 6)
+    rng = np.random.default_rng(0)
+    pairs = set()
+    for t in range(12):
+        u, v = int(rng.integers(6)), int(rng.integers(6))
+        g.add_edge(u, v, "r", float(t))
+        pairs.add(frozenset((u, v)))
+    mp = MultiplexMetapath.create(["a", "a"], [["r"]])
+    walk = sample_metapath_walk(g, 0, mp, length, rng=seed)
+    nodes = walk.nodes()
+    for a, b in zip(nodes, nodes[1:]):
+        assert frozenset((a, b)) in pairs

@@ -1,0 +1,124 @@
+"""Tests for edge streams and protocol splits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.streams import EdgeStream, StreamEdge
+
+
+def _stream(n: int) -> EdgeStream:
+    return EdgeStream([StreamEdge(0, 1, "r", float(i)) for i in range(n)])
+
+
+class TestConstruction:
+    def test_sorts_by_time(self):
+        s = EdgeStream(
+            [StreamEdge(0, 1, "r", 3.0), StreamEdge(0, 1, "r", 1.0)]
+        )
+        assert [e.t for e in s] == [1.0, 3.0]
+
+    def test_stable_for_equal_timestamps(self):
+        s = EdgeStream(
+            [StreamEdge(0, 1, "r", 1.0), StreamEdge(2, 3, "r", 1.0)]
+        )
+        assert s[0].u == 0 and s[1].u == 2
+
+    def test_from_tuples(self):
+        s = EdgeStream.from_tuples([(0, 1, "r", 2.0)])
+        assert len(s) == 1
+        assert isinstance(s[0], StreamEdge)
+
+    def test_slicing_returns_stream(self):
+        s = _stream(10)
+        sub = s[2:5]
+        assert isinstance(sub, EdgeStream)
+        assert len(sub) == 3
+
+    def test_timestamps(self):
+        assert list(_stream(3).timestamps()) == [0.0, 1.0, 2.0]
+
+
+class TestChronologicalSplit:
+    def test_80_1_19(self):
+        train, valid, test = _stream(100).chronological_split(0.80, 0.01)
+        assert (len(train), len(valid), len(test)) == (80, 1, 19)
+
+    def test_time_ordering_preserved(self):
+        train, valid, test = _stream(100).chronological_split()
+        assert train.timestamps().max() < test.timestamps().min()
+
+    def test_bad_fractions(self):
+        with pytest.raises(ValueError):
+            _stream(10).chronological_split(0.9, 0.2)
+        with pytest.raises(ValueError):
+            _stream(10).chronological_split(1.5, 0.0)
+
+
+class TestSequentialBatches:
+    def test_batch_sizes(self):
+        batches = _stream(10).sequential_batches(4)
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_batches_cover_everything(self):
+        batches = _stream(10).sequential_batches(3)
+        assert sum(len(b) for b in batches) == 10
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            _stream(10).sequential_batches(0)
+
+
+class TestTrainValidSplit:
+    def test_last_edges_become_validation(self):
+        train, valid = _stream(10).split_train_valid(3)
+        assert len(train) == 7 and len(valid) == 3
+        assert valid.timestamps().min() > train.timestamps().max()
+
+    def test_shrinks_when_stream_small(self):
+        train, valid = _stream(2).split_train_valid(5)
+        assert len(train) == 1 and len(valid) == 1
+
+    def test_zero_validation(self):
+        train, valid = _stream(5).split_train_valid(0)
+        assert len(train) == 5 and len(valid) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            _stream(5).split_train_valid(-1)
+
+
+class TestEqualSlices:
+    def test_ten_parts(self):
+        slices = _stream(100).equal_slices(10)
+        assert len(slices) == 10
+        assert all(len(s) == 10 for s in slices)
+
+    def test_uneven(self):
+        slices = _stream(10).equal_slices(3)
+        assert sum(len(s) for s in slices) == 10
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            _stream(10).equal_slices(0)
+
+
+class TestBuildGraph:
+    def test_builds_all_edges(self, schema, small_stream):
+        g = small_stream.build_graph(schema, [("user", 5), ("video", 5)])
+        assert g.num_edges == len(small_stream)
+        assert g.num_nodes == 10
+
+    def test_max_neighbors_forwarded(self, schema, small_stream):
+        g = small_stream.build_graph(schema, [("user", 5), ("video", 5)], max_neighbors=1)
+        assert g.max_neighbors == 1
+
+
+@given(n=st.integers(5, 200), parts=st.integers(1, 10))
+@settings(max_examples=50, deadline=None)
+def test_equal_slices_partition(n, parts):
+    slices = _stream(n).equal_slices(parts)
+    assert sum(len(s) for s in slices) == n
+    sizes = [len(s) for s in slices]
+    assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,46 @@
+"""Tests for the capped-graph surviving-edge view."""
+
+import pytest
+
+from repro.graph.dmhg import DMHG
+from repro.graph.schema import GraphSchema
+
+
+@pytest.fixture
+def capped_graph(schema):
+    g = DMHG(schema, max_neighbors=2)
+    g.add_nodes("user", 1)
+    g.add_nodes("video", 5)
+    for i, v in enumerate((1, 2, 3, 4)):
+        g.add_edge(0, v, "click", float(i))
+    return g
+
+
+class TestTraversableEdgeIndices:
+    def test_uncapped_keeps_everything(self, small_graph):
+        assert small_graph.traversable_edge_indices() == list(range(8))
+
+    def test_cap_drops_old_user_edges(self, capped_graph):
+        # user 0 keeps only its last 2 incident edges, but each video end
+        # still holds its own single edge, so all stay traversable from
+        # the video side.
+        surviving = capped_graph.traversable_edge_indices()
+        assert surviving == [0, 1, 2, 3]
+
+    def test_fully_dropped_edges_disappear(self, schema):
+        # both endpoints capped at 1: only the newest edge between the
+        # pair stays traversable from either side.
+        g = DMHG(schema, max_neighbors=1)
+        g.add_nodes("user", 1)
+        g.add_nodes("video", 1)
+        g.add_edge(0, 1, "click", 1.0)
+        g.add_edge(0, 1, "click", 2.0)
+        assert g.traversable_edge_indices() == [1]
+
+    def test_sorted_by_insertion(self, small_graph):
+        out = small_graph.traversable_edge_indices()
+        assert out == sorted(out)
+
+    def test_deleted_edges_excluded(self, small_graph):
+        small_graph.remove_edge(3)
+        assert 3 not in small_graph.traversable_edge_indices()

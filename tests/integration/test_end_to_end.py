@@ -1,0 +1,143 @@
+"""End-to-end integration tests crossing all subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_baseline
+from repro.core import SUPA, SUPAConfig, InsLearnConfig, InsLearnTrainer
+from repro.core.inslearn import train_conventional
+from repro.core.variants import make_variant
+from repro.datasets import load_dataset
+from repro.eval import RankingEvaluator, paired_t_test
+
+
+@pytest.fixture(scope="module")
+def world():
+    ds = load_dataset("taobao", scale=0.4, seed=1)
+    train, valid, test = ds.split()
+    queries = ds.ranking_queries(test)[:60]
+    return ds, train, queries
+
+
+FAST_TRAIN = InsLearnConfig(
+    batch_size=400, max_iterations=4, validation_interval=2, validation_size=40, patience=2
+)
+
+
+def fit_supa(ds, train, config=None):
+    model = SUPA.for_dataset(ds, config or SUPAConfig(dim=16, seed=0))
+    InsLearnTrainer(model, FAST_TRAIN).fit(train)
+    return model
+
+
+class TestSUPAEndToEnd:
+    def test_trained_beats_untrained(self, world):
+        ds, train, queries = world
+        trained = fit_supa(ds, train)
+        untrained = SUPA.for_dataset(ds, SUPAConfig(dim=16, seed=0))
+        for e in train:
+            untrained.observe(e.u, e.v, e.edge_type, e.t)
+        ev = RankingEvaluator()
+        r_trained = ev.evaluate(trained, queries)
+        r_untrained = ev.evaluate(untrained, queries)
+        assert r_trained["MRR"] > 2 * r_untrained["MRR"]
+        test = paired_t_test(r_trained.ranks, r_untrained.ranks)
+        assert test.significant(alpha=0.05)
+
+    def test_inslearn_comparable_to_conventional(self, world):
+        """Single-pass InsLearn should land in the same quality ballpark
+        as multi-epoch conventional training (Table VII)."""
+        ds, train, queries = world
+        ins = fit_supa(ds, train)
+        conv = SUPA.for_dataset(ds, SUPAConfig(dim=16, seed=0))
+        train_conventional(conv, train, epochs=3)
+        ev = RankingEvaluator()
+        mrr_ins = ev.evaluate(ins, queries)["MRR"]
+        mrr_conv = ev.evaluate(conv, queries)["MRR"]
+        assert mrr_ins > 0.3 * mrr_conv
+
+    def test_all_variants_train_and_score(self, world):
+        ds, train, queries = world
+        base = SUPAConfig(dim=8, num_walks=2, walk_length=3, seed=0)
+        short = train[:150]
+        for name in ("supa_inter", "supa_prop", "supa_neg", "supa_s", "supa_nt"):
+            model = SUPA.for_dataset(ds, make_variant(name, base))
+            model.process_stream(list(short))
+            scores = model.score(
+                queries[0].node, queries[0].candidates, queries[0].edge_type, queries[0].t
+            )
+            assert np.all(np.isfinite(scores))
+
+    def test_neighborhood_disturbance_protocol(self, world):
+        """SUPA trains and evaluates under a recency cap (Fig. 6)."""
+        ds, train, queries = world
+        model = SUPA.for_dataset(ds, SUPAConfig(dim=16, seed=0), max_neighbors=5)
+        InsLearnTrainer(model, FAST_TRAIN).fit(train)
+        result = RankingEvaluator().evaluate(model, queries)
+        assert result["MRR"] > 0.0
+
+    def test_streaming_continuation(self, world):
+        """partial_fit on later slices keeps improving the live model."""
+        ds, train, queries = world
+        slices = train.equal_slices(3)
+        model = make_baseline(
+            "SUPA",
+            ds,
+            dim=16,
+            seed=0,
+            config=SUPAConfig(dim=16, seed=0),
+            train_config=FAST_TRAIN,
+        )
+        model.fit(slices[0])
+        ev = RankingEvaluator()
+        early = ev.evaluate(model, queries)["MRR"]
+        model.partial_fit(slices[1])
+        model.partial_fit(slices[2])
+        late = ev.evaluate(model, queries)["MRR"]
+        assert late > early
+
+
+class TestCrossSystem:
+    def test_edge_deletion_handled(self, world):
+        ds, train, queries = world
+        model = fit_supa(ds, train[:200])
+        removed = 0
+        for e in list(model.graph.edges())[:50]:
+            model.graph.remove_edge(e.index)
+            removed += 1
+        assert model.graph.num_edges == 200 - removed
+        # the model still trains and scores after deletions
+        model.process_edge(train[0].u, train[0].v, train[0].edge_type, 1e6)
+        scores = model.score(
+            queries[0].node, queries[0].candidates, queries[0].edge_type, queries[0].t
+        )
+        assert np.all(np.isfinite(scores))
+
+    def test_static_dataset_trains(self):
+        """Amazon-like static data (single timestamp) trains cleanly."""
+        ds = load_dataset("amazon", scale=0.2, seed=0)
+        train, _, test = ds.split()
+        model = fit_supa(ds, train)
+        queries = ds.ranking_queries(test)[:30]
+        result = RankingEvaluator().evaluate(model, queries)
+        assert result["MRR"] > 0.0
+
+    def test_heterogeneous_authors_dataset_trains(self):
+        ds = load_dataset("kuaishou", scale=0.15, seed=0)
+        train, _, test = ds.split()
+        model = fit_supa(ds, train)
+        queries = [
+            q for q in ds.ranking_queries(test) if q.edge_type != "upload"
+        ][:30]
+        result = RankingEvaluator().evaluate(model, queries)
+        assert np.isfinite(result["MRR"])
+
+    def test_tsne_on_learned_embeddings(self, world):
+        from repro.eval import tsne
+
+        ds, train, _ = world
+        model = fit_supa(ds, train[:200])
+        nodes = list(range(10)) + list(ds.nodes_of_type("item")[:10])
+        emb = model.final_embeddings(nodes, "page_view", float(train[199].t))
+        projected = tsne(emb, iterations=60, rng=0)
+        assert projected.shape == (20, 2)

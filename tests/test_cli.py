@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "--dataset", "uci"])
+        assert args.method == "SUPA"
+        assert args.dim == 32
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--dataset", "netflix"])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "--dataset", "uci", "--method", "GPT"]
+            )
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        for name in ("uci", "amazon", "lastfm", "movielens", "taobao", "kuaishou"):
+            assert name in out
+
+    def test_train_prints_metrics(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset",
+                "taobao",
+                "--scale",
+                "0.15",
+                "--method",
+                "LightGCN",
+                "--dim",
+                "8",
+                "--max-queries",
+                "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "H@20" in out and "MRR" in out
+
+    def test_compare_ranks_methods(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "taobao",
+                "--scale",
+                "0.15",
+                "--methods",
+                "LightGCN",
+                "DyHNE",
+                "--dim",
+                "8",
+                "--max-queries",
+                "15",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LightGCN" in out and "DyHNE" in out
+
+    def test_mine_prints_schemas(self, capsys):
+        code = main(
+            ["mine", "--dataset", "taobao", "--scale", "0.2", "--min-support", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "->" in out
+
+    def test_export_writes_tsv(self, tmp_path, capsys):
+        path = str(tmp_path / "edges.tsv")
+        code = main(
+            ["export", "--dataset", "uci", "--scale", "0.1", "--output", path]
+        )
+        assert code == 0
+        assert os.path.exists(path)
+        with open(path) as fh:
+            assert fh.readline().startswith("u\tv\tedge_type")

@@ -1,0 +1,45 @@
+"""Tests for text table rendering."""
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "score"], [["a", 1.5], ["bb", 2.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.5000" in out
+        assert "2.2500" in out
+
+    def test_precision(self):
+        out = format_table(["x"], [[3.14159]], precision=2)
+        assert "3.14" in out
+        assert "3.142" not in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table V")
+        assert out.splitlines()[0] == "Table V"
+
+    def test_highlight_best_marks_max(self):
+        out = format_table(
+            ["method", "H@20"],
+            [["a", 0.1], ["b", 0.9], ["c", 0.5]],
+            highlight_best=[1],
+        )
+        assert "0.9000*" in out
+        assert "0.1000*" not in out
+
+    def test_highlight_ignores_text_columns(self):
+        out = format_table(
+            ["method", "H@20"], [["a", 0.1], ["b", 0.2]], highlight_best=[0]
+        )
+        assert "*" not in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_column_widths_accommodate_cells(self):
+        out = format_table(["x"], [["averyverylongvalue"]])
+        header, sep, row = out.splitlines()
+        assert len(header) == len(row)
