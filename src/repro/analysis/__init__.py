@@ -1,0 +1,38 @@
+"""reprolint: AST-based static analysis for this reproduction's invariants.
+
+Usage::
+
+    from repro.analysis import run_lint
+    result = run_lint(["src/repro"])
+    assert result.ok, [v.format() for v in result.violations]
+
+or from a shell: ``python -m repro.lint src/repro`` / ``repro lint``.
+See :mod:`repro.analysis.rules` for the rule set and how to add one.
+"""
+
+from repro.analysis.core import (
+    LintResult,
+    Project,
+    Rule,
+    SourceFile,
+    Violation,
+    get_rules,
+    register_rule,
+    run_lint,
+)
+from repro.analysis.reporters import render_json, render_text, to_dict, write_json
+
+__all__ = [
+    "LintResult",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "get_rules",
+    "register_rule",
+    "run_lint",
+    "render_json",
+    "render_text",
+    "to_dict",
+    "write_json",
+]

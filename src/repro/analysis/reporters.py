@@ -1,0 +1,71 @@
+"""Render :class:`~repro.analysis.core.LintResult` as text or JSON.
+
+The JSON form is stable and machine-readable so benchmark tooling can
+track violation counts across PRs (``benchmarks/results/lint_report.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.analysis.core import LintResult
+
+#: bumped whenever the JSON layout changes incompatibly
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """``path:line:col: [rule] message`` lines plus a one-line summary."""
+    lines = [v.format() for v in result.violations]
+    if result.ok:
+        lines.append(
+            f"reprolint: clean ({result.files_checked} files, "
+            f"{len(result.rules)} rules)"
+        )
+    else:
+        counts = ", ".join(
+            f"{rule}={n}" for rule, n in result.counts_by_rule().items()
+        )
+        lines.append(
+            f"reprolint: {len(result.violations)} violation"
+            f"{'s' if len(result.violations) != 1 else ''} "
+            f"in {result.files_checked} files ({counts})"
+        )
+    return "\n".join(lines)
+
+
+def to_dict(result: LintResult) -> Dict:
+    """A JSON-serialisable summary of one lint run."""
+    return {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "root": str(result.root),
+        "files_checked": result.files_checked,
+        "rules": list(result.rules),
+        "ok": result.ok,
+        "total_violations": len(result.violations),
+        "counts_by_rule": result.counts_by_rule(),
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule,
+                "message": v.message,
+            }
+            for v in result.violations
+        ],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(to_dict(result), indent=2, sort_keys=True) + "\n"
+
+
+def write_json(result: LintResult, path: Union[str, Path]) -> Path:
+    """Write the JSON report to ``path``, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_json(result), encoding="utf-8")
+    return path

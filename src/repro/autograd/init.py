@@ -35,4 +35,4 @@ def xavier_uniform(shape: Sequence[int], rng: RngLike = None) -> Tensor:
 
 def zeros_(shape: Sequence[int]) -> Tensor:
     """Zero-initialised parameter (biases)."""
-    return Tensor(np.zeros(tuple(shape)), requires_grad=True)
+    return Tensor(np.zeros(tuple(shape), dtype=np.float64), requires_grad=True)

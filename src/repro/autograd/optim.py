@@ -63,7 +63,10 @@ class SGD(Optimizer):
                 vel *= self.momentum
                 vel += grad
                 grad = vel
-            p.data -= self.lr * grad
+            # Parameter updates run strictly after backward() has drained
+            # the tape, so the in-place write cannot corrupt saved
+            # activations.
+            p.data -= self.lr * grad  # reprolint: disable=inplace-mutation
 
 
 class Adam(Optimizer):
@@ -106,4 +109,7 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * grad**2
             m_hat = m / bias1
             v_hat = v / bias2
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # Post-backward update, same as SGD above.
+            p.data -= self.lr * m_hat / (  # reprolint: disable=inplace-mutation
+                np.sqrt(v_hat) + self.eps
+            )

@@ -42,7 +42,8 @@ def metapath_adjacency(
     if not rows:
         return sp.csr_matrix((num_nodes, num_nodes))
     adj = sp.coo_matrix(
-        (np.ones(len(rows)), (rows, cols)), shape=(num_nodes, num_nodes)
+        (np.ones(len(rows), dtype=np.float64), (rows, cols)),
+        shape=(num_nodes, num_nodes),
     ).tocsr()
     degree = np.asarray(adj.sum(axis=1)).ravel()
     inv = np.zeros_like(degree)
@@ -89,7 +90,7 @@ class DyHNE(EmbeddingModel):
 
         k = min(self.dim, n - 2)
         if k < 1 or proximity.nnz == 0:
-            self.embeddings = np.zeros((n, self.dim))
+            self.embeddings = np.zeros((n, self.dim), dtype=np.float64)
             return
         u, s, _ = spla.svds(proximity.astype(np.float64), k=k)
         emb = u * np.sqrt(np.maximum(s, 0.0))

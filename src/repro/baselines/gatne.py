@@ -80,8 +80,8 @@ class GATNE(EmbeddingModel):
         # orthogonal-ish matrix M_r and scaled by a fitted w_r.
         tables: Dict[str, np.ndarray] = {None: base}
         for edge_type in self.dataset.schema.edge_types:
-            agg = np.zeros((n, self.dim))
-            counts = np.zeros(n)
+            agg = np.zeros((n, self.dim), dtype=np.float64)
+            counts = np.zeros(n, dtype=np.float64)
             for e in stream:
                 if e.edge_type != edge_type:
                     continue

@@ -40,7 +40,7 @@ def normalized_adjacency(
             continue
         rows.extend((e.u, e.v))
         cols.extend((e.v, e.u))
-    data = np.ones(len(rows))
+    data = np.ones(len(rows), dtype=np.float64)
     adj = sp.coo_matrix(
         (data, (rows, cols)), shape=(num_nodes, num_nodes)
     ).tocsr()

@@ -46,7 +46,7 @@ class LINE(EmbeddingModel):
         bound = 0.5 / half
         first = rng.uniform(-bound, bound, size=(n, half))
         second = rng.uniform(-bound, bound, size=(n, half))
-        second_ctx = np.zeros((n, half))
+        second_ctx = np.zeros((n, half), dtype=np.float64)
 
         edges = [(e.u, e.v) for e in stream]
         if not edges:
@@ -69,7 +69,7 @@ class LINE(EmbeddingModel):
     @staticmethod
     def _sgns_step(table, ctx_table, u, v, negs, lr, symmetric):
         targets = np.concatenate(([v], negs))
-        labels = np.zeros(targets.size)
+        labels = np.zeros(targets.size, dtype=np.float64)
         labels[0] = 1.0
         w = table[u]
         ctx = ctx_table[targets]

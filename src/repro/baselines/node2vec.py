@@ -34,7 +34,7 @@ def biased_walk(
             break
         nodes = np.asarray([n for n, _, _, _ in nbrs], dtype=np.int64)
         if prev is None:
-            weights = np.ones(nodes.size)
+            weights = np.ones(nodes.size, dtype=np.float64)
         else:
             prev_nbrs = {n for n, _, _, _ in graph.neighbors(prev)}
             weights = np.where(

@@ -55,12 +55,12 @@ class SkipGramTrainer:
         self.rng = new_rng(rng)
         bound = 0.5 / dim
         self.target = self.rng.uniform(-bound, bound, size=(num_nodes, dim))
-        self.context = np.zeros((num_nodes, dim))
+        self.context = np.zeros((num_nodes, dim), dtype=np.float64)
         if noise_weights is None:
-            noise_weights = np.ones(num_nodes)
+            noise_weights = np.ones(num_nodes, dtype=np.float64)
         weights = np.asarray(noise_weights, dtype=np.float64)
         if weights.sum() <= 0:
-            weights = np.ones(num_nodes)
+            weights = np.ones(num_nodes, dtype=np.float64)
         self._noise = AliasTable(weights)
 
     # ------------------------------------------------------------------ steps
@@ -71,7 +71,7 @@ class SkipGramTrainer:
         targets = np.concatenate(
             ([context], np.asarray(self._noise.sample(self.rng, self.negatives)))
         )
-        labels = np.zeros(targets.size)
+        labels = np.zeros(targets.size, dtype=np.float64)
         labels[0] = 1.0
         return self._fused_step(center, targets, labels, lr)
 

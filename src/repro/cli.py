@@ -10,6 +10,8 @@ Commands:
   comparison table.
 * ``mine`` — mine multiplex metapath schemas from a dataset prefix.
 * ``export`` — write a generated dataset's edge stream to TSV.
+* ``lint`` — run the reprolint static-analysis suite over the source
+  tree (see :mod:`repro.analysis`).
 
 Every command is deterministic for a fixed ``--seed``.
 """
@@ -146,6 +148,19 @@ def cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run as lint_run
+
+    return lint_run(
+        args.paths,
+        fmt=args.format,
+        output=args.output,
+        select=args.select,
+        ignore=args.ignore,
+        project_root=args.project_root,
+    )
+
+
 def cmd_export(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     save_edge_tsv(dataset.stream, args.output)
@@ -199,6 +214,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--output", required=True)
     p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser(
+        "lint", help="run the reprolint static-analysis suite"
+    )
+    p.add_argument("paths", nargs="*", help="files/dirs (default: src/repro)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--output", help="also write a JSON report here")
+    p.add_argument("--select", nargs="+", metavar="RULE")
+    p.add_argument("--ignore", nargs="+", metavar="RULE")
+    p.add_argument("--project-root")
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -180,8 +180,8 @@ class SUPA:
         fwd_u = target_embedding(self.memory, u, self._node_type_ids[u], delta_u, cfg)
         fwd_v = target_embedding(self.memory, v, self._node_type_ids[v], delta_v, cfg)
 
-        grad_h_star_u = np.zeros(cfg.dim)
-        grad_h_star_v = np.zeros(cfg.dim)
+        grad_h_star_u = np.zeros(cfg.dim, dtype=np.float64)
+        grad_h_star_v = np.zeros(cfg.dim, dtype=np.float64)
         context_grads: Dict[int, np.ndarray] = {}
         components: Dict[str, float] = {}
 

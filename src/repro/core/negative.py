@@ -51,7 +51,7 @@ class NegativeSampler:
                 continue
             weights = degrees[nodes] ** self.power
             if weights.sum() <= 0:
-                weights = np.ones(nodes.size)
+                weights = np.ones(nodes.size, dtype=np.float64)
             self._tables[type_id] = AliasTable(weights)
         self._since_refresh = 0
 

@@ -137,7 +137,7 @@ def _behavior_masks(
     if not 0.0 <= divergence <= 1.0:
         raise ValueError(f"behavior_divergence must lie in [0, 1], got {divergence}")
     if divergence == 0.0:
-        return np.ones((num_behaviors, dim))
+        return np.ones((num_behaviors, dim), dtype=np.float64)
     gates = rng.random((num_behaviors, dim)) < 0.5
     return (1.0 - divergence) + divergence * 2.0 * gates
 
@@ -261,7 +261,7 @@ def _generate_bipartite(
 
     horizon = 1.0 if cfg.static else float(cfg.n_events)
     if cfg.static or cfg.freshness_decay <= 0:
-        item_birth = np.zeros(n_items)
+        item_birth = np.zeros(n_items, dtype=np.float64)
     else:
         item_birth = np.sort(rng.uniform(0.0, 0.9 * horizon, size=n_items))
 

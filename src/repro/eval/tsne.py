@@ -44,7 +44,7 @@ def _row_affinities(dists_row: np.ndarray, i: int, perplexity: float) -> np.ndar
         else:
             beta_hi = beta
             beta = (beta + beta_lo) / 2.0
-    row = np.zeros(dists_row.size)
+    row = np.zeros(dists_row.size, dtype=np.float64)
     row[np.arange(dists_row.size) != i] = p_norm
     return row
 

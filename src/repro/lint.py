@@ -1,0 +1,12 @@
+"""``python -m repro.lint`` — run the reprolint static-analysis suite.
+
+Thin launcher for :mod:`repro.analysis.cli`; kept as a module (not a
+package) so the entry point stays a one-liner.
+"""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

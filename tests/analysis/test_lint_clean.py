@@ -1,0 +1,23 @@
+"""Tier-1 gate: the real ``src/repro`` tree must be reprolint-clean.
+
+Also refreshes ``benchmarks/results/lint_report.json`` so violation
+counts are tracked across PRs.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import run_lint, write_json
+
+REPO = Path(__file__).resolve().parents[2]
+REPORT = REPO / "benchmarks" / "results" / "lint_report.json"
+
+
+def test_src_tree_is_lint_clean():
+    result = run_lint([REPO / "src" / "repro"], project_root=REPO)
+    report = write_json(result, REPORT)
+    payload = json.loads(report.read_text())
+    assert payload["total_violations"] == len(result.violations)
+    assert result.ok, "reprolint violations:\n" + "\n".join(
+        v.format() for v in result.violations
+    )

@@ -1,0 +1,51 @@
+"""Text and JSON reporter behaviour, including the on-disk report."""
+
+import json
+
+from repro.analysis import render_json, render_text, to_dict, write_json
+
+FILES_CLEAN = {"src/repro/core/clean.py": "x = 1\n"}
+FILES_DIRTY = {
+    "src/repro/core/alloc.py": """
+    import numpy as np
+    a = np.zeros(3)
+    b = np.random.rand(3)
+    """
+}
+
+
+class TestText:
+    def test_clean_summary(self, lint):
+        out = render_text(lint(FILES_CLEAN))
+        assert "reprolint: clean" in out
+
+    def test_violation_lines_and_counts(self, lint):
+        out = render_text(lint(FILES_DIRTY))
+        assert "core/alloc.py:2" in out
+        assert "[explicit-dtype]" in out and "[rng-discipline]" in out
+        assert "2 violations" in out
+        assert "explicit-dtype=1" in out
+
+
+class TestJson:
+    def test_round_trip_shape(self, lint):
+        payload = json.loads(render_json(lint(FILES_DIRTY)))
+        assert payload["ok"] is False
+        assert payload["total_violations"] == 2
+        assert payload["counts_by_rule"] == {
+            "explicit-dtype": 1,
+            "rng-discipline": 1,
+        }
+        first = payload["violations"][0]
+        assert set(first) == {"path", "line", "col", "rule", "message"}
+
+    def test_to_dict_lists_rules(self, lint):
+        payload = to_dict(lint(FILES_CLEAN))
+        assert "rng-discipline" in payload["rules"]
+        assert payload["ok"] is True and payload["violations"] == []
+
+    def test_write_json_creates_parents(self, lint, tmp_path):
+        target = tmp_path / "benchmarks" / "results" / "lint_report.json"
+        written = write_json(lint(FILES_CLEAN), target)
+        assert written == target and target.exists()
+        assert json.loads(target.read_text())["ok"] is True

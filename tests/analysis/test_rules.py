@@ -1,0 +1,464 @@
+"""Each reprolint rule: a violating fixture fires, a clean or suppressed
+fixture stays silent."""
+
+from repro.analysis import run_lint
+
+
+def rules_hit(result):
+    return sorted({v.rule for v in result.violations})
+
+
+# ------------------------------------------------------------- rng-discipline
+
+
+class TestRngDiscipline:
+    def test_np_random_call_fires(self, lint):
+        result = lint(
+            {
+                "src/repro/core/foo.py": """
+                import numpy as np
+                x = np.random.rand(3)
+                """
+            }
+        )
+        assert rules_hit(result) == ["rng-discipline"]
+        v = result.violations[0]
+        assert v.line == 2 and "np.random.rand" in v.message
+
+    def test_stdlib_random_import_and_call_fire(self, lint):
+        result = lint(
+            {
+                "src/repro/core/foo.py": """
+                import random
+                random.shuffle([1, 2])
+                """
+            }
+        )
+        assert len(result.violations) == 2
+        assert rules_hit(result) == ["rng-discipline"]
+
+    def test_rng_module_is_exempt(self, lint):
+        result = lint(
+            {
+                "src/repro/utils/rng.py": """
+                import numpy as np
+                def new_rng(seed=None):
+                    return np.random.default_rng(seed)
+                """
+            }
+        )
+        assert result.ok
+
+    def test_generator_annotation_is_clean(self, lint):
+        result = lint(
+            {
+                "src/repro/core/foo.py": """
+                import numpy as np
+                def walk(rng: np.random.Generator) -> None:
+                    rng.random(3)
+                """
+            }
+        )
+        assert result.ok
+
+    def test_suppression_comment_silences(self, lint):
+        result = lint(
+            {
+                "src/repro/core/foo.py": """
+                import numpy as np
+                x = np.random.rand(3)  # reprolint: disable=rng-discipline
+                """
+            }
+        )
+        assert result.ok
+
+
+# -------------------------------------------------------------- explicit-dtype
+
+
+class TestExplicitDtype:
+    def test_missing_dtype_fires_in_core(self, lint):
+        result = lint(
+            {
+                "src/repro/core/alloc.py": """
+                import numpy as np
+                buf = np.zeros((4, 4))
+                fill = np.full((2,), 7.0)
+                """
+            }
+        )
+        assert rules_hit(result) == ["explicit-dtype"]
+        assert len(result.violations) == 2
+
+    def test_explicit_dtype_is_clean(self, lint):
+        result = lint(
+            {
+                "src/repro/autograd/alloc.py": """
+                import numpy as np
+                a = np.zeros((4, 4), dtype=np.float64)
+                b = np.full((2,), 7.0, np.float32)
+                """
+            }
+        )
+        assert result.ok
+
+    def test_outside_scoped_dirs_is_clean(self, lint):
+        result = lint(
+            {
+                "src/repro/eval/alloc.py": """
+                import numpy as np
+                buf = np.zeros((4, 4))
+                """
+            }
+        )
+        assert result.ok
+
+    def test_file_level_suppression(self, lint):
+        result = lint(
+            {
+                "src/repro/core/alloc.py": """
+                # reprolint: disable-file=explicit-dtype
+                import numpy as np
+                buf = np.zeros((4, 4))
+                """
+            }
+        )
+        assert result.ok
+
+
+# ----------------------------------------------------------- autograd-backward
+
+
+class TestAutogradBackward:
+    def test_make_without_backward_fires(self, lint):
+        result = lint(
+            {
+                "src/repro/autograd/functional.py": """
+                from repro.autograd.tensor import Tensor
+                def doubled(x):
+                    return Tensor._make(x.data * 2, (x,), None)
+                """
+            }
+        )
+        assert rules_hit(result) == ["autograd-backward"]
+        assert "no `backward` closure" in result.violations[0].message
+
+    def test_backward_defined_but_unwired_fires(self, lint):
+        result = lint(
+            {
+                "src/repro/autograd/functional.py": """
+                from repro.autograd.tensor import Tensor
+                def doubled(x):
+                    def backward(grad):
+                        x._accumulate(2.0 * grad)
+                    return Tensor._make(x.data * 2, (x,), None)
+                """
+            }
+        )
+        assert rules_hit(result) == ["autograd-backward"]
+        assert "never passes it" in result.violations[0].message
+
+    def test_wired_backward_is_clean(self, lint):
+        result = lint(
+            {
+                "src/repro/autograd/functional.py": """
+                from repro.autograd.tensor import Tensor
+                def doubled(x):
+                    def backward(grad):
+                        x._accumulate(2.0 * grad)
+                    return Tensor._make(x.data * 2, (x,), backward)
+                """
+            }
+        )
+        assert result.ok
+
+    def test_composed_op_without_make_is_clean(self, lint):
+        result = lint(
+            {
+                "src/repro/autograd/functional.py": """
+                def quadrupled(x):
+                    return x * 4.0
+                """
+            }
+        )
+        assert result.ok
+
+    def test_other_files_not_scoped(self, lint):
+        result = lint(
+            {
+                "src/repro/autograd/helpers.py": """
+                from repro.autograd.tensor import Tensor
+                def doubled(x):
+                    return Tensor._make(x.data * 2, (x,), None)
+                """
+            }
+        )
+        assert result.ok
+
+    def test_suppression_comment_silences(self, lint):
+        result = lint(
+            {
+                "src/repro/autograd/tensor.py": """
+                class Tensor:
+                    def doubled(self):  # reprolint: disable=autograd-backward
+                        return self._make(self.data * 2, (self,), None)
+                """
+            }
+        )
+        assert result.ok
+
+
+# ----------------------------------------------------------- inplace-mutation
+
+
+class TestInplaceMutation:
+    def test_aug_assign_on_data_fires(self, lint):
+        result = lint(
+            {
+                "src/repro/core/update.py": """
+                def step(p, lr, grad):
+                    p.data -= lr * grad
+                """
+            }
+        )
+        assert rules_hit(result) == ["inplace-mutation"]
+
+    def test_subscript_on_data_fires(self, lint):
+        result = lint(
+            {
+                "src/repro/core/update.py": """
+                def scatter(p, rows, grad):
+                    p.data[rows] += grad
+                """
+            }
+        )
+        assert rules_hit(result) == ["inplace-mutation"]
+
+    def test_inside_no_grad_is_clean(self, lint):
+        result = lint(
+            {
+                "src/repro/core/update.py": """
+                from repro.autograd.tensor import no_grad
+                def step(p, lr, grad):
+                    with no_grad():
+                        p.data -= lr * grad
+                """
+            }
+        )
+        assert result.ok
+
+    def test_plain_array_aug_assign_is_clean(self, lint):
+        result = lint(
+            {
+                "src/repro/core/update.py": """
+                def accumulate(buf, grad):
+                    buf += grad
+                """
+            }
+        )
+        assert result.ok
+
+    def test_suppression_comment_silences(self, lint):
+        result = lint(
+            {
+                "src/repro/core/update.py": """
+                def step(p, lr, grad):
+                    p.data -= lr * grad  # reprolint: disable=inplace-mutation
+                """
+            }
+        )
+        assert result.ok
+
+
+# ---------------------------------------------------------- baseline-registry
+
+
+REGISTRY_OK = """
+from repro.baselines.foo import Foo
+
+BASELINE_BUILDERS = {"Foo": Foo}
+"""
+
+FOO_BASELINE = """
+from repro.baselines.base import BaselineModel
+
+class Foo(BaselineModel):
+    pass
+"""
+
+
+class TestBaselineRegistry:
+    def test_registered_and_tested_is_clean(self, lint):
+        result = lint(
+            {
+                "src/repro/baselines/foo.py": FOO_BASELINE,
+                "src/repro/baselines/registry.py": REGISTRY_OK,
+                "tests/baselines/test_foo.py": "def test_foo(): pass\n",
+            }
+        )
+        assert result.ok
+
+    def test_unregistered_baseline_fires(self, lint):
+        result = lint(
+            {
+                "src/repro/baselines/foo.py": FOO_BASELINE,
+                "src/repro/baselines/registry.py": "BASELINE_BUILDERS = {}\n",
+                "tests/baselines/test_foo.py": "def test_foo(): pass\n",
+            }
+        )
+        assert rules_hit(result) == ["baseline-registry"]
+        assert "not registered" in result.violations[0].message
+
+    def test_missing_test_file_fires(self, lint):
+        result = lint(
+            {
+                "src/repro/baselines/foo.py": FOO_BASELINE,
+                "src/repro/baselines/registry.py": REGISTRY_OK,
+            }
+        )
+        assert rules_hit(result) == ["baseline-registry"]
+        assert "test_foo.py" in result.violations[0].message
+
+    def test_helper_module_without_baseline_class_is_clean(self, lint):
+        result = lint(
+            {
+                "src/repro/baselines/util.py": "def helper(): pass\n",
+                "src/repro/baselines/registry.py": "BASELINE_BUILDERS = {}\n",
+            }
+        )
+        assert result.ok
+
+    def test_file_level_suppression(self, lint):
+        result = lint(
+            {
+                "src/repro/baselines/foo.py": (
+                    "# reprolint: disable-file=baseline-registry\n" + FOO_BASELINE
+                ),
+                "src/repro/baselines/registry.py": REGISTRY_OK,
+            }
+        )
+        assert result.ok
+
+
+# ----------------------------------------------------------------- public-api
+
+
+class TestPublicApi:
+    def test_documented_export_is_clean(self, lint):
+        result = lint(
+            {
+                "src/repro/__init__.py": """
+                from repro.core import Thing
+
+                __version__ = "1.0"
+                __all__ = ["Thing", "__version__"]
+                """,
+                "src/repro/core/__init__.py": """
+                class Thing:
+                    \"\"\"A documented export.\"\"\"
+                """,
+            }
+        )
+        assert result.ok
+
+    def test_unresolvable_export_fires(self, lint):
+        result = lint(
+            {
+                "src/repro/__init__.py": """
+                __all__ = ["Ghost"]
+                """
+            }
+        )
+        assert rules_hit(result) == ["public-api"]
+        assert "does not resolve" in result.violations[0].message
+
+    def test_undocumented_export_fires(self, lint):
+        result = lint(
+            {
+                "src/repro/__init__.py": """
+                from repro.core import Thing
+
+                __all__ = ["Thing"]
+                """,
+                "src/repro/core/__init__.py": """
+                class Thing:
+                    pass
+                """,
+            }
+        )
+        assert rules_hit(result) == ["public-api"]
+        assert "undocumented" in result.violations[0].message
+
+    def test_reexport_chain_resolves(self, lint):
+        result = lint(
+            {
+                "src/repro/__init__.py": """
+                from repro.core import deep
+
+                __all__ = ["deep"]
+                """,
+                "src/repro/core/__init__.py": """
+                from repro.core.inner import deep
+                """,
+                "src/repro/core/inner.py": """
+                def deep():
+                    \"\"\"Documented at the end of a re-export chain.\"\"\"
+                """,
+            }
+        )
+        assert result.ok
+
+    def test_suppression_on_entry_line(self, lint):
+        result = lint(
+            {
+                "src/repro/__init__.py": """
+                __all__ = [
+                    "Ghost",  # reprolint: disable=public-api
+                ]
+                """
+            }
+        )
+        assert result.ok
+
+
+# ------------------------------------------------------------------ framework
+
+
+class TestFramework:
+    def test_select_and_ignore(self, lint):
+        files = {
+            "src/repro/core/foo.py": """
+            import numpy as np
+            x = np.random.rand(3)
+            buf = np.zeros(3)
+            """
+        }
+        only_rng = lint(files, select=["rng-discipline"])
+        assert rules_hit(only_rng) == ["rng-discipline"]
+        without_rng = lint(files, ignore=["rng-discipline"])
+        assert rules_hit(without_rng) == ["explicit-dtype"]
+
+    def test_unknown_rule_raises(self, lint):
+        import pytest
+
+        with pytest.raises(KeyError):
+            lint({"src/repro/core/foo.py": "x = 1\n"}, select=["no-such-rule"])
+
+    def test_parse_error_reported(self, lint):
+        result = lint({"src/repro/core/broken.py": "def oops(:\n"})
+        assert rules_hit(result) == ["parse-error"]
+
+    def test_violations_sorted_and_formatted(self, lint):
+        result = lint(
+            {
+                "src/repro/core/foo.py": """
+                import numpy as np
+                a = np.zeros(3)
+                b = np.zeros(3)
+                """
+            }
+        )
+        lines = [v.line for v in result.violations]
+        assert lines == sorted(lines)
+        formatted = result.violations[0].format()
+        assert "core/foo.py" in formatted and "[explicit-dtype]" in formatted

@@ -1,0 +1,19 @@
+"""Per-module contract tests for ``baselines/deepwalk.py``.
+
+The reprolint ``baseline-registry`` rule requires every baseline module
+to ship a matching test file; these checks pin registration plus the
+shared fit/score contract (finite, deterministic scores).
+"""
+
+from repro.baselines.deepwalk import DeepWalk
+from repro.baselines.registry import BASELINE_BUILDERS
+
+
+def test_registered_in_builders():
+    assert BASELINE_BUILDERS["DeepWalk"] is DeepWalk
+
+
+def test_fit_score_contract(check_baseline, baseline_world):
+    model = check_baseline(DeepWalk, dim=8, num_walks=2, walk_length=4, epochs=1)
+    table = model._table(baseline_world.schema.edge_types[0])
+    assert table.ndim == 2 and table.shape[0] == baseline_world.num_nodes

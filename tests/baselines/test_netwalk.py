@@ -1,0 +1,19 @@
+"""Per-module contract tests for ``baselines/netwalk.py``.
+
+The reprolint ``baseline-registry`` rule requires every baseline module
+to ship a matching test file; these checks pin registration plus the
+shared fit/score contract (finite, deterministic scores).
+"""
+
+from repro.baselines.netwalk import NetWalk
+from repro.baselines.registry import BASELINE_BUILDERS
+
+
+def test_registered_in_builders():
+    assert BASELINE_BUILDERS["NetWalk"] is NetWalk
+
+
+def test_fit_score_contract(check_baseline, baseline_world):
+    model = check_baseline(NetWalk, dim=8, num_walks=1, walk_length=4)
+    table = model._table(baseline_world.schema.edge_types[0])
+    assert table.ndim == 2 and table.shape[0] == baseline_world.num_nodes

@@ -97,3 +97,16 @@ class TestCommands:
         assert os.path.exists(path)
         with open(path) as fh:
             assert fh.readline().startswith("u\tv\tedge_type")
+
+    def test_lint_subcommand_clean_on_src(self, capsys):
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        code = main(
+            [
+                "lint",
+                os.path.join(repo, "src", "repro"),
+                "--project-root",
+                repo,
+            ]
+        )
+        assert code == 0
+        assert "reprolint: clean" in capsys.readouterr().out
