@@ -22,6 +22,7 @@ from repro.core import (
 from repro.datasets import Dataset, load_dataset
 from repro.eval import RankingEvaluator
 from repro.graph import DMHG, EdgeStream, GraphSchema, MultiplexMetapath
+from repro.serve import RecommendationService, ServeConfig, StreamReplayDriver
 
 __version__ = "1.0.0"
 
@@ -40,5 +41,8 @@ __all__ = [
     "EdgeStream",
     "GraphSchema",
     "MultiplexMetapath",
+    "RecommendationService",
+    "ServeConfig",
+    "StreamReplayDriver",
     "__version__",
 ]

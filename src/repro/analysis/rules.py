@@ -6,7 +6,7 @@ rule id           guards against
 rng-discipline    unseedable randomness (``np.random.*`` / stdlib ``random``
                   outside ``utils/rng.py``)
 explicit-dtype    silent float64/float32 drift from dtype-less array
-                  constructors in ``core/`` and ``autograd/``
+                  constructors in ``core/``, ``autograd/`` and ``serve/``
 autograd-backward a differentiable op whose forward is taped via
                   ``Tensor._make`` without a wired ``backward`` closure
 inplace-mutation  augmented assignment on a tensor's backing ``.data``
@@ -123,14 +123,14 @@ class ExplicitDtypeRule(Rule):
 
     id = "explicit-dtype"
     description = (
-        "np.zeros/np.empty/np.ones/np.full in core/ and autograd/ must pass an "
-        "explicit dtype= so the analytic-gradient and autograd paths cannot "
-        "drift between float32 and float64"
+        "np.zeros/np.empty/np.ones/np.full in core/, autograd/ and serve/ must "
+        "pass an explicit dtype= so the analytic-gradient, autograd and "
+        "serving-snapshot paths cannot drift between float32 and float64"
     )
 
     #: constructor -> index of the positional dtype argument
     CONSTRUCTORS = {"zeros": 1, "ones": 1, "empty": 1, "full": 2}
-    SCOPES = ("core/", "autograd/")
+    SCOPES = ("core/", "autograd/", "serve/")
 
     def applies_to(self, sf: SourceFile) -> bool:
         return sf.package_rel.startswith(self.SCOPES)

@@ -10,6 +10,9 @@ Commands:
   comparison table.
 * ``mine`` — mine multiplex metapath schemas from a dataset prefix.
 * ``export`` — write a generated dataset's edge stream to TSV.
+* ``serve-replay`` — replay a dataset through the online serving layer
+  (:mod:`repro.serve`) and report throughput, latency and offline
+  parity.
 * ``lint`` — run the reprolint static-analysis suite over the source
   tree (see :mod:`repro.analysis`).
 
@@ -19,6 +22,7 @@ Every command is deterministic for a fixed ``--seed``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -161,6 +165,42 @@ def cmd_lint(args: argparse.Namespace) -> int:
     )
 
 
+def cmd_serve_replay(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, StreamReplayDriver
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    driver = StreamReplayDriver(
+        dataset,
+        k=args.k,
+        serve_config=ServeConfig(
+            batch_size=args.batch_size, cache_size=args.cache_size
+        ),
+        model_config=SUPAConfig(
+            dim=args.dim, num_walks=2, walk_length=2, seed=args.seed
+        ),
+        probe_every=args.probe_every,
+        max_parity_users=args.max_parity_users,
+        seed=args.seed,
+    )
+    report = driver.run()
+    print(
+        format_table(
+            ["metric", "value"],
+            report.summary_rows(),
+            title=f"serve-replay: {args.dataset} (scale={args.scale}, k={args.k})",
+        )
+    )
+    if args.output:
+        print(f"wrote {report.write_json(args.output)}")
+    if report.parity_fraction < args.min_parity:
+        print(
+            f"FAIL: parity {report.parity_fraction:.4f} below "
+            f"--min-parity {args.min_parity}"
+        )
+        return 1
+    return 0
+
+
 def cmd_export(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     save_edge_tsv(dataset.stream, args.output)
@@ -214,6 +254,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--output", required=True)
     p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser(
+        "serve-replay",
+        help="replay a dataset through the online serving layer",
+    )
+    _add_common(p)
+    p.add_argument("--k", type=int, default=10, help="recommendation list length")
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--batch-size", type=int, default=256, help="update micro-batch")
+    p.add_argument("--cache-size", type=int, default=1024)
+    p.add_argument("--probe-every", type=int, default=64)
+    p.add_argument(
+        "--max-parity-users", type=int, default=None, help="cap parity check users"
+    )
+    p.add_argument(
+        "--min-parity",
+        type=float,
+        default=0.99,
+        help="fail when served/offline top-K parity drops below this",
+    )
+    p.add_argument(
+        "--output",
+        default=os.path.join("benchmarks", "results", "serving_throughput.json"),
+        help="JSON report path ('' to skip writing)",
+    )
+    p.set_defaults(func=cmd_serve_replay)
 
     p = sub.add_parser(
         "lint", help="run the reprolint static-analysis suite"

@@ -12,7 +12,7 @@ platform while it learns.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -49,7 +49,13 @@ class InsLearnConfig:
 
 @dataclass
 class BatchReport:
-    """Training trace for one batch."""
+    """Training trace for one batch.
+
+    ``touched_nodes`` is the union of every node whose memory rows were
+    written while training this batch (a superset of the rows that
+    actually differ after best-model restore) — the serving layer uses
+    it to refresh embedding snapshots and invalidate caches precisely.
+    """
 
     batch_index: int
     num_train_edges: int
@@ -57,6 +63,7 @@ class BatchReport:
     iterations_run: int
     best_score: float
     mean_loss: float
+    touched_nodes: FrozenSet[int] = frozenset()
 
 
 @dataclass
@@ -93,10 +100,14 @@ def _record_and_observe(model: SUPA, edges: Sequence[StreamEdge]) -> List[_Recor
     return records
 
 
-def _train_pass(model: SUPA, records: Sequence[_Record]) -> float:
+def _train_pass(
+    model: SUPA, records: Sequence[_Record], touched: Optional[Set[int]] = None
+) -> float:
     total = 0.0
     for e, du, dv in records:
         total += model.train_step(e.u, e.v, e.edge_type, e.t, du, dv)
+        if touched is not None:
+            touched |= model.last_touched_nodes
     return total / max(1, len(records))
 
 
@@ -144,16 +155,29 @@ class InsLearnTrainer:
         self.model = model
         self.config = config or InsLearnConfig()
         self._rng = new_rng(self.config.seed)
+        #: touched-node set of the most recent :meth:`train_one_batch`.
+        self.last_touched_nodes: FrozenSet[int] = frozenset()
 
     def fit(self, stream: EdgeStream) -> TrainingReport:
         """Train the model on ``stream`` batch by batch (single pass)."""
         report = TrainingReport()
         for index, batch in enumerate(stream.sequential_batches(self.config.batch_size)):
-            report.batches.append(self._fit_batch(index, batch))
+            report.batches.append(self.train_one_batch(batch, batch_index=index))
         return report
 
-    def _fit_batch(self, index: int, batch: EdgeStream) -> BatchReport:
+    def train_one_batch(self, batch: EdgeStream, batch_index: int = 0) -> BatchReport:
+        """Run Algorithm 1's inner loop (lines 4-20) on a single batch.
+
+        This is the resumable unit the online serving layer drives: each
+        call splits off the batch's validation tail, replays the training
+        edges up to ``N_iter`` times with early stopping, restores the
+        best-validated state and inserts the validation edges — exactly
+        what one iteration of :meth:`fit`'s loop does.  The returned
+        report carries the batch's touched-node set (also kept on
+        ``self.last_touched_nodes``) for downstream cache invalidation.
+        """
         cfg = self.config
+        touched: Set[int] = set()
         train, valid = batch.split_train_valid(cfg.validation_size)
         records = _record_and_observe(self.model, list(train))
 
@@ -164,7 +188,7 @@ class InsLearnTrainer:
         iterations_run = 0
 
         for iteration in range(1, cfg.max_iterations + 1):
-            losses.append(_train_pass(self.model, records))
+            losses.append(_train_pass(self.model, records, touched))
             iterations_run = iteration
             if len(valid) and iteration % cfg.validation_interval == 0:
                 score = validation_mrr(
@@ -187,14 +211,18 @@ class InsLearnTrainer:
             self.model.load_state_dict(best_state)
         # Validation edges join the graph before the next batch arrives.
         _record_and_observe(self.model, list(valid))
+        touched.update(e.u for e in batch)
+        touched.update(e.v for e in batch)
+        self.last_touched_nodes = frozenset(touched)
 
         return BatchReport(
-            batch_index=index,
+            batch_index=batch_index,
             num_train_edges=len(train),
             num_valid_edges=len(valid),
             iterations_run=iterations_run,
             best_score=best_score,
             mean_loss=float(np.mean(losses)) if losses else 0.0,
+            touched_nodes=self.last_touched_nodes,
         )
 
 

@@ -19,7 +19,7 @@ engine and finite differences in ``tests/core/test_gradients.py``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -111,6 +111,11 @@ class SUPA:
             refresh_every=self.config.negative_table_refresh,
         )
         self.last_loss_components: Dict[str, float] = {}
+        #: nodes whose memory rows (long / short / any context slot) were
+        #: written by the most recent :meth:`train_step` — the serving
+        #: layer uses these sets for snapshot refresh and cache
+        #: invalidation.
+        self.last_touched_nodes: Set[int] = set()
 
     @classmethod
     def for_dataset(
@@ -268,6 +273,11 @@ class SUPA:
                 )
 
         self.optimizer.step(long_grads, short_grads, context_grads, alpha_grads)
+        num_nodes = self.memory.num_nodes
+        touched: Set[int] = set(long_grads)
+        touched.update(short_grads)
+        touched.update(row % num_nodes for row in context_grads)
+        self.last_touched_nodes = touched
         self.last_loss_components = components
         return float(sum(components.values()))
 

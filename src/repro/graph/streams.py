@@ -33,6 +33,11 @@ class StreamEdge(NamedTuple):
     t: float
 
 
+def _is_time_sorted(edges: Sequence[StreamEdge]) -> bool:
+    """True when ``edges`` are already in non-decreasing timestamp order."""
+    return all(edges[i - 1].t <= edges[i].t for i in range(1, len(edges)))
+
+
 @dataclass
 class EdgeStream:
     """A chronologically sorted sequence of edge records.
@@ -45,7 +50,13 @@ class EdgeStream:
     edges: List[StreamEdge]
 
     def __post_init__(self) -> None:
-        self.edges = sorted(self.edges, key=lambda e: e.t)
+        # Streams are overwhelmingly constructed from already-ordered data
+        # (slices of other streams, replay hand-off); an O(n) sortedness
+        # check skips the sort and preserves the input's identity order.
+        if _is_time_sorted(self.edges):
+            self.edges = list(self.edges)
+        else:
+            self.edges = sorted(self.edges, key=lambda e: e.t)
 
     @classmethod
     def from_tuples(cls, tuples: Sequence[Tuple[int, int, str, float]]) -> "EdgeStream":

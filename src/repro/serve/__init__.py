@@ -1,0 +1,39 @@
+"""Online recommendation serving over the live-learning SUPA model.
+
+The paper's InsLearn premise is that the model "stays deployable on the
+live platform while it learns"; this package is that deployment story:
+
+* :mod:`repro.serve.ingest` — bounded event queue with micro-batching,
+  backpressure and a deadletter policy;
+* :mod:`repro.serve.store` — copy-on-write versioned embedding
+  snapshots (readers pin a version; updates publish atomically);
+* :mod:`repro.serve.index` — cached top-K retrieval with precise
+  invalidation from the trainer's touched-node sets;
+* :mod:`repro.serve.service` — the :class:`RecommendationService`
+  façade (``ingest`` / ``recommend`` / ``flush``);
+* :mod:`repro.serve.metrics` — counters, gauges and latency histograms
+  exported as JSON;
+* :mod:`repro.serve.replay` — deterministic stream replay with
+  offline-parity checking (the ``repro serve-replay`` command).
+"""
+
+from repro.serve.index import TopKIndex
+from repro.serve.ingest import BackpressureError, DeadLetter, EventQueue
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.replay import ReplayReport, StreamReplayDriver
+from repro.serve.service import RecommendationService, ServeConfig
+from repro.serve.store import Snapshot, VersionedEmbeddingStore
+
+__all__ = [
+    "BackpressureError",
+    "DeadLetter",
+    "EventQueue",
+    "MetricsRegistry",
+    "RecommendationService",
+    "ReplayReport",
+    "ServeConfig",
+    "Snapshot",
+    "StreamReplayDriver",
+    "TopKIndex",
+    "VersionedEmbeddingStore",
+]

@@ -1,0 +1,190 @@
+"""Bounded event ingestion: queue → micro-batch → InsLearn hand-off.
+
+Live platforms deliver interaction events slightly out of order and
+occasionally malformed.  The :class:`EventQueue` absorbs both:
+
+* accepted events buffer in arrival order; once ``batch_size`` are
+  pending, they are cut into an :class:`~repro.graph.streams.EdgeStream`
+  micro-batch (construction re-sorts any out-of-order arrivals) and
+  handed to the update handler — the resumable
+  :meth:`~repro.core.inslearn.InsLearnTrainer.train_one_batch` step;
+* malformed events (unknown edge type, out-of-range ids, non-finite
+  timestamps, ...) never reach the model: a validator rejects them into
+  a bounded deadletter buffer with the reason preserved;
+* when updates cannot keep up, the queue exerts **backpressure** at
+  ``capacity``: raise to the producer, shed the new event, or evict the
+  oldest buffered one, per the configured overflow policy.
+
+Dispatch can be paused (``pause()``/``resume()``) so a service can defer
+updates — e.g. while degraded — and drain later with :meth:`flush`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.graph.streams import EdgeStream, StreamEdge
+
+#: overflow policies accepted by :class:`EventQueue`
+OVERFLOW_POLICIES = ("raise", "drop_new", "drop_oldest")
+
+Validator = Callable[[StreamEdge], Optional[str]]
+BatchHandler = Callable[[EdgeStream], None]
+
+
+class BackpressureError(RuntimeError):
+    """Raised by ``put`` when the queue is full under the ``raise`` policy."""
+
+
+@dataclass
+class DeadLetter:
+    """A rejected event and why it was rejected."""
+
+    edge: StreamEdge
+    reason: str
+
+
+class EventQueue:
+    """Bounded buffer turning an event firehose into update micro-batches.
+
+    Parameters
+    ----------
+    handler:
+        Called with each ready :class:`EdgeStream` micro-batch.
+    batch_size:
+        Events per micro-batch (the serving-side ``S_batch``).
+    capacity:
+        Maximum buffered events before backpressure applies.
+    validator:
+        Returns a rejection reason for a malformed event, ``None`` to
+        accept.  ``None`` (default) accepts everything.
+    overflow:
+        One of ``"raise"`` (default), ``"drop_new"``, ``"drop_oldest"``.
+    max_deadletters:
+        Deadletter entries retained (oldest evicted first); rejection
+        *counts* are never truncated.
+    """
+
+    def __init__(
+        self,
+        handler: BatchHandler,
+        batch_size: int = 256,
+        capacity: int = 2048,
+        validator: Optional[Validator] = None,
+        overflow: str = "raise",
+        max_deadletters: int = 1024,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if capacity < batch_size:
+            raise ValueError(
+                f"capacity ({capacity}) must be >= batch_size ({batch_size})"
+            )
+        if overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"overflow must be one of {OVERFLOW_POLICIES}, got {overflow!r}"
+            )
+        self._handler = handler
+        self.batch_size = batch_size
+        self.capacity = capacity
+        self._validator = validator
+        self.overflow = overflow
+        self.max_deadletters = max_deadletters
+        self._buffer: List[StreamEdge] = []
+        self._lock = threading.RLock()
+        self._paused = False
+        self.deadletters: List[DeadLetter] = []
+        self.accepted = 0
+        self.rejected = 0
+        self.dropped = 0
+        self.batches_dispatched = 0
+
+    # ---------------------------------------------------------------- control
+
+    @property
+    def pending(self) -> int:
+        """Events buffered but not yet handed to the handler."""
+        return len(self._buffer)
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def pause(self) -> None:
+        """Stop dispatching micro-batches; events keep buffering."""
+        self._paused = True
+
+    def resume(self) -> None:
+        """Re-enable dispatch and drain any ready micro-batches."""
+        with self._lock:
+            self._paused = False
+            self._dispatch_ready()
+
+    # ----------------------------------------------------------------- intake
+
+    def put(self, edge: StreamEdge) -> bool:
+        """Offer one event; returns True when buffered for an update.
+
+        Malformed events are deadlettered (returns False).  At capacity
+        the overflow policy applies: ``raise`` raises
+        :class:`BackpressureError`, ``drop_new`` sheds ``edge`` (returns
+        False), ``drop_oldest`` evicts the oldest buffered event.
+        """
+        with self._lock:
+            if self._validator is not None:
+                reason = self._validator(edge)
+                if reason is not None:
+                    self._dead_letter(edge, reason)
+                    return False
+            if len(self._buffer) >= self.capacity:
+                if self.overflow == "raise":
+                    raise BackpressureError(
+                        f"event queue at capacity ({self.capacity}); "
+                        "flush() or resume() before ingesting more"
+                    )
+                if self.overflow == "drop_new":
+                    self._dead_letter(edge, "backpressure: queue at capacity")
+                    return False
+                evicted = self._buffer.pop(0)
+                self._dead_letter(evicted, "backpressure: evicted oldest")
+            self._buffer.append(edge)
+            self.accepted += 1
+            self._dispatch_ready()
+            return True
+
+    def flush(self) -> int:
+        """Dispatch everything pending (final batch may be short).
+
+        Flushing overrides ``pause`` — it is the explicit drain.
+        Returns the number of events dispatched.
+        """
+        with self._lock:
+            drained = 0
+            while self._buffer:
+                drained += self._dispatch_one(min(self.batch_size, len(self._buffer)))
+            return drained
+
+    # --------------------------------------------------------------- internals
+
+    def _dispatch_ready(self) -> None:
+        if self._paused:
+            return
+        while len(self._buffer) >= self.batch_size:
+            self._dispatch_one(self.batch_size)
+
+    def _dispatch_one(self, size: int) -> int:
+        batch, self._buffer = self._buffer[:size], self._buffer[size:]
+        self.batches_dispatched += 1
+        self._handler(EdgeStream(batch))
+        return len(batch)
+
+    def _dead_letter(self, edge: StreamEdge, reason: str) -> None:
+        if reason.startswith("backpressure"):
+            self.dropped += 1
+        else:
+            self.rejected += 1
+        self.deadletters.append(DeadLetter(edge, reason))
+        if len(self.deadletters) > self.max_deadletters:
+            del self.deadletters[: -self.max_deadletters]

@@ -1,0 +1,316 @@
+"""The online recommendation service: ingest → update → publish → serve.
+
+:class:`RecommendationService` keeps a live SUPA model deployable while
+it learns (the paper's InsLearn premise) by interleaving three loops
+that never block each other:
+
+1. **Ingest** — ``ingest(edge)`` offers events to a bounded
+   :class:`~repro.serve.ingest.EventQueue`; malformed events are
+   deadlettered, overload triggers backpressure.
+2. **Update** — each ready micro-batch runs one resumable
+   :meth:`~repro.core.inslearn.InsLearnTrainer.train_one_batch` step,
+   then the touched nodes' Eq. 14 embeddings are recomputed and
+   **published atomically** as a new copy-on-write snapshot.
+3. **Serve** — ``recommend(user, k)`` pins the latest published
+   snapshot and answers from the cached top-K index.  While an update
+   is mid-flight the pinned snapshot is simply the last published one,
+   so service degrades to *bounded staleness*, never inconsistency; a
+   staleness gauge records how many applied-but-unpublished and queued
+   events the answer is behind.
+
+Consistency model: an answer always reflects a single snapshot version
+(never a half-applied update); after ``flush()`` on a quiesced service,
+answers equal the offline ranking pipeline exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.inslearn import InsLearnConfig, InsLearnTrainer
+from repro.core.model import SUPA
+from repro.datasets.base import Dataset
+from repro.graph.streams import EdgeStream, StreamEdge
+from repro.serve.index import TopKIndex
+from repro.serve.ingest import EventQueue
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.store import VersionedEmbeddingStore
+
+
+@dataclass
+class ServeConfig:
+    """Serving-side knobs (model/training knobs stay on their configs).
+
+    ``edge_type`` selects the recommendation relation; ``None`` uses the
+    dataset's first target edge type (or first schema edge type).
+    """
+
+    edge_type: Optional[str] = None
+    batch_size: int = 256  # events per update micro-batch (serving S_batch)
+    capacity: int = 2048  # queue bound before backpressure
+    overflow: str = "raise"  # backpressure policy: raise | drop_new | drop_oldest
+    cache_size: int = 1024  # (user, k) entries in the top-K LRU cache
+    store_block_size: int = 256  # rows per copy-on-write block
+    score_block: int = 512  # candidate rows per scoring matmul
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.capacity < self.batch_size:
+            raise ValueError(
+                f"capacity ({self.capacity}) must be >= batch_size "
+                f"({self.batch_size})"
+            )
+
+
+class RecommendationService:
+    """Serve top-K recommendations while learning from the event stream.
+
+    Parameters
+    ----------
+    dataset:
+        Fixes the node universe, schema and candidate catalogue.
+    model / trainer:
+        A :class:`SUPA` model and its :class:`InsLearnTrainer`; fresh
+        ones are built when omitted (``train_config`` then tunes the
+        default trainer).
+    config:
+        Serving knobs; see :class:`ServeConfig`.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        model: Optional[SUPA] = None,
+        trainer: Optional[InsLearnTrainer] = None,
+        config: Optional[ServeConfig] = None,
+        train_config: Optional[InsLearnConfig] = None,
+    ):
+        self.config = config or ServeConfig()
+        self.dataset = dataset
+        self.model = model if model is not None else SUPA.for_dataset(dataset)
+        if trainer is not None:
+            self.trainer = trainer
+        else:
+            self.trainer = InsLearnTrainer(
+                self.model,
+                train_config
+                or InsLearnConfig(
+                    batch_size=self.config.batch_size,
+                    max_iterations=4,
+                    validation_interval=2,
+                    validation_size=25,
+                    patience=1,
+                ),
+            )
+        if self.trainer.model is not self.model:
+            raise ValueError("trainer is bound to a different model instance")
+
+        schema = dataset.schema
+        if self.config.edge_type is not None:
+            self.edge_type = self.config.edge_type
+        elif dataset.target_edge_types:
+            self.edge_type = dataset.target_edge_types[0]
+        else:
+            self.edge_type = schema.edge_types[0]
+        schema.edge_type_id(self.edge_type)  # validates
+        self.user_type, self.item_type = schema.endpoints_of(self.edge_type)
+        self.users = dataset.nodes_of_type(self.user_type)
+        self.items = dataset.nodes_of_type(self.item_type)
+
+        self.metrics = MetricsRegistry()
+        # Pre-register every instrument so exports are fully populated
+        # even before the first event / recommendation arrives.
+        for name in (
+            "ingest.accepted",
+            "ingest.rejected",
+            "ingest.dropped",
+            "updates.applied",
+            "cache.hits",
+            "cache.misses",
+            "cache.invalidated",
+            "serve.recommendations",
+            "serve.stale_serves",
+        ):
+            self.metrics.counter(name)
+        for name in ("queue.pending", "store.version", "staleness.events_behind"):
+            self.metrics.gauge(name)
+        for name in ("latency.recommend_seconds", "latency.update_seconds"):
+            self.metrics.histogram(name)
+        self._clock = 0.0  # latest applied event timestamp
+        self._update_in_flight = False
+        self._updates_applied = 0
+
+        all_nodes = np.arange(dataset.num_nodes, dtype=np.int64)
+        self.store = VersionedEmbeddingStore(
+            self.model.final_embeddings(all_nodes, self.edge_type, self._clock),
+            block_size=self.config.store_block_size,
+        )
+        self.index = TopKIndex(
+            self.items,
+            cache_size=self.config.cache_size,
+            score_block=self.config.score_block,
+        )
+        self.queue = EventQueue(
+            handler=self._apply_batch,
+            batch_size=self.config.batch_size,
+            capacity=self.config.capacity,
+            validator=self._validate_event,
+            overflow=self.config.overflow,
+        )
+        # Eq. 14 embeddings depend on wall-clock time (and alpha) only
+        # when decay-at-inference is on; then every row must be
+        # republished per update instead of just the touched ones.
+        cfg = self.model.config
+        self._full_refresh = bool(
+            cfg.use_short_term and cfg.use_forgetting and cfg.decay_at_inference
+        )
+
+    # ------------------------------------------------------------------ intake
+
+    def _validate_event(self, edge: StreamEdge) -> Optional[str]:
+        """Reject events the model could not apply (deadletter reason)."""
+        try:
+            u, v = int(edge.u), int(edge.v)
+        except (TypeError, ValueError):
+            return f"non-integer node ids ({edge.u!r}, {edge.v!r})"
+        n = self.dataset.num_nodes
+        if not (0 <= u < n and 0 <= v < n):
+            return f"node id outside universe of {n} nodes"
+        try:
+            self.dataset.schema.edge_type_id(edge.edge_type)
+        except (KeyError, ValueError):
+            return f"unknown edge type {edge.edge_type!r}"
+        if not np.isfinite(edge.t):
+            return f"non-finite timestamp {edge.t!r}"
+        return None
+
+    def ingest(self, edge: StreamEdge) -> bool:
+        """Offer one interaction event; True when accepted for learning.
+
+        A full micro-batch triggers an update + snapshot publish inline;
+        malformed or shed events return False (see ``deadletters``).
+        """
+        accepted = self.queue.put(edge)
+        counters = self.metrics
+        counters.counter("ingest.accepted").value = self.queue.accepted
+        counters.counter("ingest.rejected").value = self.queue.rejected
+        counters.counter("ingest.dropped").value = self.queue.dropped
+        counters.gauge("queue.pending").set(self.queue.pending)
+        return accepted
+
+    def flush(self) -> int:
+        """Drain every buffered event through updates; returns the count.
+
+        After ``flush()`` the published snapshot reflects all accepted
+        events — the service is *quiesced* and answers match the offline
+        ranking pipeline exactly.
+        """
+        drained = self.queue.flush()
+        self.metrics.gauge("queue.pending").set(self.queue.pending)
+        return drained
+
+    @property
+    def deadletters(self):
+        """Rejected/shed events with reasons (bounded, newest retained)."""
+        return self.queue.deadletters
+
+    # ----------------------------------------------------------------- updates
+
+    def _apply_batch(self, batch: EdgeStream) -> None:
+        """One background InsLearn step + atomic snapshot publication."""
+        self._update_in_flight = True
+        try:
+            with self.metrics.histogram("latency.update_seconds").time():
+                report = self.trainer.train_one_batch(
+                    batch, batch_index=self._updates_applied
+                )
+                self._clock = max(self._clock, float(batch[len(batch) - 1].t))
+                if self._full_refresh:
+                    rows = np.arange(self.dataset.num_nodes, dtype=np.int64)
+                else:
+                    rows = np.asarray(sorted(report.touched_nodes), dtype=np.int64)
+                snapshot = self.store.publish(
+                    rows,
+                    self.model.final_embeddings(rows, self.edge_type, self._clock),
+                )
+                touched = set(int(r) for r in rows)
+                self.index.invalidate(snapshot, touched, touched)
+            self._updates_applied += 1
+            self.metrics.counter("updates.applied").value = self._updates_applied
+            self.metrics.counter("cache.invalidated").value = self.index.invalidations
+            self.metrics.gauge("store.version").set(snapshot.version)
+        finally:
+            self._update_in_flight = False
+
+    # ----------------------------------------------------------------- serving
+
+    def recommend(self, user: int, k: int = 10) -> np.ndarray:
+        """Top-``k`` item ids for ``user`` from the published snapshot.
+
+        Never blocks on learning: a mid-flight update leaves the pinned
+        snapshot (the last published one) serving, and the staleness
+        gauge records how many events the answer is behind.
+        """
+        if not 0 <= int(user) < self.dataset.num_nodes:
+            raise IndexError(
+                f"user {user} outside universe of {self.dataset.num_nodes} nodes"
+            )
+        with self.metrics.histogram("latency.recommend_seconds").time():
+            snapshot = self.store.snapshot()  # pin: reads stay on one version
+            hits_before = self.index.hits
+            items = self.index.top_k(snapshot, int(user), int(k))
+        self.metrics.counter("serve.recommendations").inc()
+        if self.index.hits > hits_before:
+            self.metrics.counter("cache.hits").inc()
+        else:
+            self.metrics.counter("cache.misses").inc()
+        stale_by = self.queue.pending
+        if self._update_in_flight:
+            stale_by += self.config.batch_size
+            self.metrics.counter("serve.stale_serves").inc()
+        elif self.queue.pending:
+            self.metrics.counter("serve.stale_serves").inc()
+        self.metrics.gauge("staleness.events_behind").set(stale_by)
+        return items
+
+    def offline_top_k(self, user: int, k: int = 10) -> np.ndarray:
+        """The offline ranking pipeline's answer (Eq. 15, full catalogue).
+
+        Scores with the live model exactly as ``eval/ranking`` does; on a
+        quiesced service this must equal :meth:`recommend`.
+        """
+        return self.model.recommend(int(user), self.items, self.edge_type, self._clock, k=k)
+
+    # ------------------------------------------------------------- observation
+
+    @property
+    def snapshot_version(self) -> int:
+        return self.store.version
+
+    @property
+    def clock(self) -> float:
+        """Latest event timestamp applied to the model."""
+        return self._clock
+
+    def stats(self) -> Dict[str, float]:
+        """A flat convenience summary of the busiest metrics."""
+        return {
+            "events_accepted": float(self.queue.accepted),
+            "events_rejected": float(self.queue.rejected),
+            "events_dropped": float(self.queue.dropped),
+            "events_pending": float(self.queue.pending),
+            "updates_applied": float(self._updates_applied),
+            "snapshot_version": float(self.store.version),
+            "cache_hit_rate": self.index.hit_rate,
+            "recommend_p95_seconds": self.metrics.histogram(
+                "latency.recommend_seconds"
+            ).percentile(95.0),
+        }
+
+    def metrics_json(self, path: Optional[str] = None) -> str:
+        """The full metrics registry as JSON (optionally written to disk)."""
+        return self.metrics.to_json(path)

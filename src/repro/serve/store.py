@@ -1,0 +1,163 @@
+"""A versioned embedding store with copy-on-write snapshots.
+
+The serving hot path must never observe a half-applied update: while the
+background InsLearn step rewrites memory rows, concurrent ``recommend``
+calls keep reading a consistent embedding table.  The store achieves
+this with block-granular copy-on-write:
+
+* the logical ``(num_rows, dim)`` matrix is stored as fixed-size row
+  blocks, each frozen (``writeable=False``) once published;
+* a :class:`Snapshot` is an immutable tuple of block references plus a
+  version number — readers pin one by simply holding it;
+* :meth:`VersionedEmbeddingStore.publish` copies only the blocks
+  containing updated rows, writes the new values, refreezes them and
+  swaps in the new snapshot under a lock with a single reference
+  assignment, so publication is atomic for readers.
+
+Blocks untouched by an update are shared structurally between
+consecutive snapshots, so a publish that touches ``m`` rows costs
+``O(ceil(m / block) * block * dim)`` — not ``O(num_rows * dim)``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+class Snapshot:
+    """An immutable, versioned view of the full embedding matrix.
+
+    Readers gather rows with :meth:`rows` / :meth:`row` and iterate
+    blocks for blocked matmuls; the backing arrays are read-only, so a
+    pinned snapshot can never change underneath its holder.
+    """
+
+    def __init__(
+        self,
+        version: int,
+        blocks: Tuple[np.ndarray, ...],
+        block_size: int,
+        num_rows: int,
+    ):
+        self.version = version
+        self._blocks = blocks
+        self._block_size = block_size
+        self.num_rows = num_rows
+        self.dim = int(blocks[0].shape[1]) if blocks else 0
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    def block(self, index: int) -> np.ndarray:
+        """The ``index``-th row block (read-only array)."""
+        return self._blocks[index]
+
+    def block_rows(self, index: int) -> Tuple[int, int]:
+        """Half-open global row range ``[lo, hi)`` covered by a block."""
+        lo = index * self._block_size
+        return lo, min(lo + self._block_size, self.num_rows)
+
+    def row(self, index: int) -> np.ndarray:
+        """One embedding row (read-only view)."""
+        if not 0 <= index < self.num_rows:
+            raise IndexError(f"row {index} outside store of {self.num_rows} rows")
+        block, offset = divmod(index, self._block_size)
+        return self._blocks[block][offset]
+
+    def rows(self, indices: Sequence[int]) -> np.ndarray:
+        """Gather ``indices`` into a fresh ``(len(indices), dim)`` array."""
+        indices = np.asarray(indices, dtype=np.int64)
+        out = np.empty((indices.size, self.dim), dtype=np.float64)
+        blocks, offsets = np.divmod(indices, self._block_size)
+        for i in range(indices.size):
+            out[i] = self._blocks[blocks[i]][offsets[i]]
+        return out
+
+    def matrix(self) -> np.ndarray:
+        """The full matrix as one fresh (writable) array — test helper."""
+        if not self._blocks:
+            return np.empty((0, 0), dtype=np.float64)
+        return np.concatenate(self._blocks, axis=0)
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    array.setflags(write=False)
+    return array
+
+
+class VersionedEmbeddingStore:
+    """Copy-on-write embedding table with atomic snapshot publication.
+
+    Parameters
+    ----------
+    initial:
+        The seed ``(num_rows, dim)`` matrix (copied); becomes version 0.
+    block_size:
+        Rows per copy-on-write block.  Smaller blocks copy less per
+        update but cost more gather overhead per read.
+    """
+
+    def __init__(self, initial: np.ndarray, block_size: int = 256):
+        initial = np.asarray(initial, dtype=np.float64)
+        if initial.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {initial.shape}")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.num_rows, self.dim = initial.shape
+        self._block_size = block_size
+        self._lock = threading.Lock()
+        blocks = tuple(
+            _freeze(initial[lo : lo + block_size].copy())
+            for lo in range(0, self.num_rows, block_size)
+        )
+        self._current = Snapshot(0, blocks, block_size, self.num_rows)
+
+    @property
+    def version(self) -> int:
+        return self._current.version
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    def snapshot(self) -> Snapshot:
+        """The latest published snapshot; holding it pins the version."""
+        return self._current
+
+    def publish(self, rows: Sequence[int], values: np.ndarray) -> Snapshot:
+        """Atomically publish new ``values`` for ``rows``.
+
+        Only blocks containing an updated row are copied; the rest are
+        shared with the previous snapshot.  Returns the new snapshot.
+        An empty ``rows`` republishes the current blocks under a bumped
+        version (useful to mark an update that changed nothing).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (rows.size, self.dim):
+            raise ValueError(
+                f"values shape {values.shape} does not match ({rows.size}, {self.dim})"
+            )
+        if rows.size and (rows.min() < 0 or rows.max() >= self.num_rows):
+            raise IndexError("row index outside the store")
+        with self._lock:
+            old = self._current
+            blocks: List[np.ndarray] = list(old._blocks)
+            dirty: Dict[int, np.ndarray] = {}
+            block_ids, offsets = np.divmod(rows, self._block_size)
+            for i in range(rows.size):
+                b = int(block_ids[i])
+                writable = dirty.get(b)
+                if writable is None:
+                    writable = blocks[b].copy()
+                    dirty[b] = writable
+                writable[offsets[i]] = values[i]
+            for b, writable in dirty.items():
+                blocks[b] = _freeze(writable)
+            new = Snapshot(old.version + 1, tuple(blocks), self._block_size, self.num_rows)
+            self._current = new
+            return new

@@ -145,3 +145,71 @@ class TestConventionalTraining:
         three = SUPA.for_dataset(tiny_synthetic, SUPAConfig(dim=8, seed=0))
         report = train_conventional(three, train_stream[:100], epochs=3)
         assert report.batches[0].iterations_run == 3
+
+
+def _assert_state_identical(a, b, path=""):
+    """Recursively require byte-identical learnable state."""
+    assert type(a) is type(b), f"{path}: {type(a)} != {type(b)}"
+    if isinstance(a, dict):
+        assert set(a) == set(b), f"{path}: keys differ"
+        for key in a:
+            _assert_state_identical(a[key], b[key], f"{path}.{key}")
+    elif isinstance(a, np.ndarray):
+        assert a.dtype == b.dtype and a.shape == b.shape, f"{path}: layout differs"
+        assert a.tobytes() == b.tobytes(), f"{path}: values differ"
+    else:
+        assert a == b, f"{path}: {a!r} != {b!r}"
+
+
+class TestTrainOneBatch:
+    """fit() must be a thin wrapper over the public train_one_batch()."""
+
+    CFG = dict(
+        batch_size=100, max_iterations=3, validation_interval=1, validation_size=20
+    )
+
+    def test_fit_equals_manual_batch_loop(self, tiny_synthetic, train_stream):
+        m_fit = SUPA.for_dataset(tiny_synthetic, SUPAConfig(dim=8, seed=0))
+        m_manual = SUPA.for_dataset(tiny_synthetic, SUPAConfig(dim=8, seed=0))
+        cfg = InsLearnConfig(**self.CFG)
+        fit_report = InsLearnTrainer(m_fit, cfg).fit(train_stream)
+
+        manual = InsLearnTrainer(m_manual, cfg)
+        manual_reports = [
+            manual.train_one_batch(batch, batch_index=i)
+            for i, batch in enumerate(
+                train_stream.sequential_batches(cfg.batch_size)
+            )
+        ]
+        _assert_state_identical(m_fit.state_dict(), m_manual.state_dict())
+        assert fit_report.batches == manual_reports
+
+    def test_touched_nodes_cover_batch_endpoints(self, model, train_stream):
+        cfg = InsLearnConfig(**self.CFG)
+        trainer = InsLearnTrainer(model, cfg)
+        batch = train_stream[: cfg.batch_size]
+        report = trainer.train_one_batch(batch)
+        assert report.touched_nodes  # non-empty
+        endpoints = {e.u for e in batch} | {e.v for e in batch}
+        assert endpoints <= set(report.touched_nodes)
+        assert report.touched_nodes == trainer.last_touched_nodes
+
+    def test_touched_nodes_is_superset_of_changed_rows(self, model, train_stream):
+        cfg = InsLearnConfig(**self.CFG)
+        trainer = InsLearnTrainer(model, cfg)
+        before = {
+            k: v.copy() for k, v in model.memory.state_dict().items()
+        }
+        batch = train_stream[: cfg.batch_size]
+        report = trainer.train_one_batch(batch)
+        after = model.memory.state_dict()
+        num_nodes = model.memory.num_nodes
+        changed = set()
+        for key in before:
+            if before[key].shape != after[key].shape:
+                continue
+            rows = np.nonzero(
+                np.any(np.atleast_2d(before[key] != after[key]), axis=-1)
+            )[0]
+            changed.update(int(r) % num_nodes for r in rows)
+        assert changed <= set(report.touched_nodes)

@@ -1,5 +1,7 @@
 """Tests for edge streams and protocol splits."""
 
+from unittest import mock
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -122,3 +124,42 @@ def test_equal_slices_partition(n, parts):
     assert sum(len(s) for s in slices) == n
     sizes = [len(s) for s in slices]
     assert max(sizes) - min(sizes) <= 1
+
+
+class TestSortedFastPath:
+    """Already-sorted input must skip the O(n log n) sort entirely."""
+
+    def test_sorted_input_never_calls_sorted(self):
+        edges = [StreamEdge(i, i + 1, "r", float(i)) for i in range(50)]
+        with mock.patch(
+            "repro.graph.streams.sorted",
+            create=True,
+            side_effect=AssertionError("sorted() called on pre-sorted input"),
+        ):
+            s = EdgeStream(edges)
+        assert [e.t for e in s] == [float(i) for i in range(50)]
+
+    def test_unsorted_input_still_sorts(self):
+        edges = [StreamEdge(0, 1, "r", 2.0), StreamEdge(0, 1, "r", 1.0)]
+        with mock.patch(
+            "repro.graph.streams.sorted",
+            create=True,
+            side_effect=AssertionError("sorted() called"),
+        ):
+            with pytest.raises(AssertionError):
+                EdgeStream(edges)
+        assert [e.t for e in EdgeStream(edges)] == [1.0, 2.0]
+
+    def test_fast_path_preserves_identity_order(self):
+        """Equal-timestamp runs keep the exact input objects in order."""
+        edges = [StreamEdge(i, i + 1, "r", 1.0) for i in range(10)]
+        s = EdgeStream(edges)
+        assert all(s[i] is edges[i] for i in range(10))
+
+    @given(
+        ts=st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=60)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fast_path_agrees_with_sort(self, ts):
+        edges = [StreamEdge(0, 1, "r", t) for t in ts]
+        assert [e.t for e in EdgeStream(edges)] == sorted(ts)

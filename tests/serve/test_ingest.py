@@ -1,0 +1,150 @@
+"""Tests for the bounded event queue: batching, deadletter, backpressure."""
+
+import pytest
+
+from repro.graph.streams import StreamEdge
+from repro.serve.ingest import BackpressureError, EventQueue
+
+
+def edge(i, t=None):
+    return StreamEdge(u=i, v=i + 100, t=float(i if t is None else t), edge_type="click")
+
+
+def collector():
+    batches = []
+    return batches, batches.append
+
+
+class TestBatching:
+    def test_dispatches_at_batch_size(self):
+        batches, handler = collector()
+        q = EventQueue(handler, batch_size=3, capacity=10)
+        for i in range(7):
+            assert q.put(edge(i))
+        assert len(batches) == 2
+        assert [len(b) for b in batches] == [3, 3]
+        assert q.pending == 1
+        assert q.accepted == 7
+        assert q.batches_dispatched == 2
+
+    def test_flush_drains_short_final_batch(self):
+        batches, handler = collector()
+        q = EventQueue(handler, batch_size=3, capacity=10)
+        for i in range(4):
+            q.put(edge(i))
+        assert q.flush() == 1
+        assert q.pending == 0
+        assert [len(b) for b in batches] == [3, 1]
+
+    def test_out_of_order_arrivals_are_sorted_within_batch(self):
+        batches, handler = collector()
+        q = EventQueue(handler, batch_size=3, capacity=10)
+        for t in (5.0, 1.0, 3.0):
+            q.put(edge(0, t=t))
+        assert [e.t for e in batches[0]] == [1.0, 3.0, 5.0]
+
+    def test_preserves_arrival_order_when_already_sorted(self):
+        batches, handler = collector()
+        q = EventQueue(handler, batch_size=3, capacity=10)
+        # same timestamp: identity order must survive (stable fast path)
+        for i in range(3):
+            q.put(StreamEdge(u=i, v=i + 100, t=1.0, edge_type="click"))
+        assert [e.u for e in batches[0]] == [0, 1, 2]
+
+    def test_invalid_config_rejected(self):
+        _, handler = collector()
+        with pytest.raises(ValueError):
+            EventQueue(handler, batch_size=0)
+        with pytest.raises(ValueError):
+            EventQueue(handler, batch_size=8, capacity=4)
+        with pytest.raises(ValueError):
+            EventQueue(handler, overflow="bounce")
+
+
+class TestDeadletter:
+    def test_malformed_events_never_reach_handler(self):
+        batches, handler = collector()
+        q = EventQueue(
+            handler,
+            batch_size=2,
+            capacity=10,
+            validator=lambda e: "negative id" if e.u < 0 else None,
+        )
+        assert not q.put(edge(-1))
+        assert q.put(edge(1))
+        assert q.put(edge(2))
+        assert q.rejected == 1
+        assert q.deadletters[0].reason == "negative id"
+        assert q.deadletters[0].edge.u == -1
+        assert all(e.u >= 0 for b in batches for e in b)
+
+    def test_deadletter_buffer_is_bounded_but_counts_are_not(self):
+        _, handler = collector()
+        q = EventQueue(
+            handler,
+            batch_size=2,
+            capacity=10,
+            validator=lambda e: "bad",
+            max_deadletters=3,
+        )
+        for i in range(8):
+            q.put(edge(i))
+        assert q.rejected == 8
+        assert len(q.deadletters) == 3
+        assert [d.edge.u for d in q.deadletters] == [5, 6, 7]
+
+
+class TestBackpressure:
+    def make_full(self, overflow):
+        batches, handler = collector()
+        q = EventQueue(handler, batch_size=2, capacity=3, overflow=overflow)
+        q.pause()  # stop dispatch so the buffer can actually fill
+        for i in range(3):
+            q.put(edge(i))
+        assert q.pending == 3
+        return q, batches
+
+    def test_raise_policy(self):
+        q, _ = self.make_full("raise")
+        with pytest.raises(BackpressureError):
+            q.put(edge(99))
+        assert q.pending == 3 and q.dropped == 0
+
+    def test_drop_new_policy(self):
+        q, _ = self.make_full("drop_new")
+        assert not q.put(edge(99))
+        assert q.pending == 3
+        assert q.dropped == 1
+        assert [e.u for e in q._buffer] == [0, 1, 2]
+        assert q.deadletters[-1].edge.u == 99
+
+    def test_drop_oldest_policy(self):
+        q, _ = self.make_full("drop_oldest")
+        assert q.put(edge(99))
+        assert q.pending == 3
+        assert q.dropped == 1
+        assert [e.u for e in q._buffer] == [1, 2, 99]
+        assert q.deadletters[-1].edge.u == 0
+
+
+class TestPauseResume:
+    def test_pause_buffers_resume_drains(self):
+        batches, handler = collector()
+        q = EventQueue(handler, batch_size=2, capacity=10)
+        q.pause()
+        for i in range(5):
+            q.put(edge(i))
+        assert batches == [] and q.pending == 5
+        q.resume()
+        assert [len(b) for b in batches] == [2, 2]
+        assert q.pending == 1
+
+    def test_flush_overrides_pause(self):
+        batches, handler = collector()
+        q = EventQueue(handler, batch_size=2, capacity=10)
+        q.pause()
+        for i in range(3):
+            q.put(edge(i))
+        assert q.flush() == 3
+        assert q.pending == 0
+        assert q.paused  # flush drains but does not silently resume

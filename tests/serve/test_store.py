@@ -1,0 +1,109 @@
+"""Tests for the copy-on-write versioned embedding store."""
+
+import numpy as np
+import pytest
+
+from repro.serve.store import VersionedEmbeddingStore
+
+
+def make_store(n=10, d=4, block=4, seed=0):
+    rng = np.random.default_rng(seed)
+    initial = rng.normal(size=(n, d))
+    return VersionedEmbeddingStore(initial, block_size=block), initial
+
+
+class TestConstruction:
+    def test_seed_becomes_version_zero(self):
+        store, initial = make_store()
+        snap = store.snapshot()
+        assert snap.version == 0
+        np.testing.assert_array_equal(snap.matrix(), initial)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            VersionedEmbeddingStore(np.zeros(3, dtype=np.float64))
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            VersionedEmbeddingStore(np.zeros((2, 2), dtype=np.float64), block_size=0)
+
+
+class TestPublish:
+    def test_updates_only_given_rows(self):
+        store, initial = make_store()
+        new_rows = np.ones((2, 4), dtype=np.float64)
+        snap = store.publish([2, 7], new_rows)
+        assert snap.version == 1
+        np.testing.assert_array_equal(snap.row(2), new_rows[0])
+        np.testing.assert_array_equal(snap.row(7), new_rows[1])
+        untouched = [i for i in range(10) if i not in (2, 7)]
+        np.testing.assert_array_equal(snap.rows(untouched), initial[untouched])
+
+    def test_pinned_snapshot_never_changes(self):
+        """Snapshot isolation: readers pin a version; publishes are invisible."""
+        store, initial = make_store()
+        pinned = store.snapshot()
+        before = pinned.matrix()
+        store.publish([0, 5, 9], np.full((3, 4), 42.0, dtype=np.float64))
+        np.testing.assert_array_equal(pinned.matrix(), before)
+        assert pinned.version == 0 and store.version == 1
+
+    def test_untouched_blocks_are_shared_not_copied(self):
+        store, _ = make_store(n=12, block=4)  # blocks: [0-3], [4-7], [8-11]
+        old = store.snapshot()
+        new = store.publish([5], np.zeros((1, 4), dtype=np.float64))
+        assert new.block(0) is old.block(0)
+        assert new.block(2) is old.block(2)
+        assert new.block(1) is not old.block(1)
+
+    def test_blocks_are_read_only(self):
+        store, _ = make_store()
+        snap = store.snapshot()
+        with pytest.raises(ValueError):
+            snap.block(0)[0, 0] = 99.0
+
+    def test_empty_publish_bumps_version(self):
+        store, initial = make_store()
+        snap = store.publish([], np.empty((0, 4), dtype=np.float64))
+        assert snap.version == 1
+        np.testing.assert_array_equal(snap.matrix(), initial)
+
+    def test_shape_mismatch_raises(self):
+        store, _ = make_store()
+        with pytest.raises(ValueError):
+            store.publish([1], np.zeros((2, 4), dtype=np.float64))
+
+    def test_out_of_range_row_raises(self):
+        store, _ = make_store()
+        with pytest.raises(IndexError):
+            store.publish([10], np.zeros((1, 4), dtype=np.float64))
+
+
+class TestSnapshotReads:
+    def test_row_and_rows_agree(self):
+        store, initial = make_store(n=9, block=2)
+        snap = store.snapshot()
+        for i in range(9):
+            np.testing.assert_array_equal(snap.row(i), initial[i])
+        np.testing.assert_array_equal(snap.rows([8, 0, 3]), initial[[8, 0, 3]])
+
+    def test_row_out_of_range(self):
+        store, _ = make_store()
+        with pytest.raises(IndexError):
+            store.snapshot().row(10)
+
+    def test_block_rows_ranges(self):
+        store, _ = make_store(n=10, block=4)
+        snap = store.snapshot()
+        assert [snap.block_rows(i) for i in range(snap.num_blocks)] == [
+            (0, 4),
+            (4, 8),
+            (8, 10),
+        ]
+
+    def test_versions_chain_across_publishes(self):
+        store, _ = make_store()
+        for expected in (1, 2, 3):
+            snap = store.publish([0], np.full((1, 4), float(expected), dtype=np.float64))
+            assert snap.version == expected
+        assert store.snapshot().row(0)[0] == 3.0

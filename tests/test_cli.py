@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import json
 import os
 
 import pytest
@@ -110,3 +111,59 @@ class TestCommands:
         )
         assert code == 0
         assert "reprolint: clean" in capsys.readouterr().out
+
+
+class TestServeReplay:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-replay", "--dataset", "uci"])
+        assert args.k == 10
+        assert args.batch_size == 256
+        assert args.min_parity == 0.99
+        assert args.output.endswith("serving_throughput.json")
+
+    def test_replay_writes_report_and_passes_parity(self, tmp_path, capsys):
+        out = tmp_path / "serving.json"
+        code = main(
+            [
+                "serve-replay",
+                "--dataset",
+                "uci",
+                "--scale",
+                "0.05",
+                "--k",
+                "5",
+                "--batch-size",
+                "64",
+                "--probe-every",
+                "40",
+                "--output",
+                str(out),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "serve-replay: uci" in captured
+        assert "parity fraction" in captured
+        payload = json.loads(out.read_text())
+        assert payload["k"] == 5
+        assert payload["parity_fraction"] >= 0.99
+        assert payload["metrics"]["latency.recommend_seconds"]["count"] > 0
+
+    def test_min_parity_gate_can_fail(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve-replay",
+                "--dataset",
+                "uci",
+                "--scale",
+                "0.05",
+                "--batch-size",
+                "64",
+                "--min-parity",
+                "1.1",
+                "--output",
+                "",
+            ]
+        )
+        assert code == 1
+        assert "FAIL: parity" in capsys.readouterr().out
