@@ -1,0 +1,73 @@
+"""Training throughput: per-edge reference vs batched execution engine.
+
+Measures steady-state edges/sec of both engines on the synthetic zoo
+with the protocol of :mod:`repro.core.engine.benchmark`: a 16,384-edge
+warm-up history (the dense-neighbourhood regime InsLearn runs in), then
+timed replay passes over the next ``S_batch = 1024`` micro-batch,
+median of repeats.  Both engines replay the same records with identical
+RNG sequences and the warm-up losses must agree **bitwise** — a speedup
+over a different computation would be meaningless.
+
+The gate: the geometric-mean speedup across the zoo must be >= 3x.
+Results are persisted to ``benchmarks/results/train_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List
+
+from harness import RESULTS_DIR, emit
+from repro.core.engine.benchmark import DEFAULT_DATASETS, measure_zoo
+from repro.utils.tables import format_table
+
+WARM_HISTORY = int(os.environ.get("REPRO_BENCH_TRAIN_HISTORY", "16384"))
+S_BATCH = 1024
+MIN_GEOMEAN_SPEEDUP = 3.0
+JSON_PATH = os.path.join(RESULTS_DIR, "train_throughput.json")
+
+
+def run_train_throughput() -> dict:
+    summary = measure_zoo(
+        dataset_names=DEFAULT_DATASETS,
+        scale=1.0,
+        warm_history=WARM_HISTORY,
+        batch_size=S_BATCH,
+    )
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(JSON_PATH, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return summary
+
+
+def test_train_throughput(benchmark):
+    summary = benchmark.pedantic(run_train_throughput, rounds=1, iterations=1)
+    rows: List[List[object]] = [
+        [
+            r["dataset"],
+            r["reference_edges_per_second"],
+            r["batched_edges_per_second"],
+            r["speedup"],
+            "yes" if r["parity"] else "NO",
+        ]
+        for r in summary["datasets"]
+    ]
+    text = format_table(
+        ["dataset", "reference e/s", "batched e/s", "speedup", "parity"],
+        rows,
+        title=(
+            f"Engine training throughput (S_batch={S_BATCH}, "
+            f"history={WARM_HISTORY}, geomean {summary['geomean_speedup']:.2f}x)"
+        ),
+        precision=2,
+    )
+    emit("train_throughput", text)
+
+    # bitwise parity on every dataset — the engines compute the same model
+    assert all(r["parity"] for r in summary["datasets"])
+    # the batched engine must hold its speedup in the steady state
+    assert summary["geomean_speedup"] >= MIN_GEOMEAN_SPEEDUP
+    assert os.path.exists(JSON_PATH)
+    benchmark.extra_info["geomean_speedup"] = summary["geomean_speedup"]

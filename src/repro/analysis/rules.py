@@ -6,11 +6,18 @@ rule id           guards against
 rng-discipline    unseedable randomness (``np.random.*`` / stdlib ``random``
                   outside ``utils/rng.py``)
 explicit-dtype    silent float64/float32 drift from dtype-less array
-                  constructors in ``core/``, ``autograd/`` and ``serve/``
+                  constructors in ``core/``, ``autograd/`` and ``serve/``;
+                  ``core/engine/`` additionally pins ``np.asarray`` and
+                  ``np.arange`` (plan arrays cross the bitwise-parity
+                  gate as raw bytes)
 autograd-backward a differentiable op whose forward is taped via
                   ``Tensor._make`` without a wired ``backward`` closure
 inplace-mutation  augmented assignment on a tensor's backing ``.data``
-                  array outside ``no_grad()`` — corrupts saved activations
+                  array outside ``no_grad()`` — corrupts saved
+                  activations; in ``core/engine/`` also any subscript
+                  write to an attribute-held array (kernels must return
+                  gradients and route memory writes through the
+                  optimizer, never scatter into shared state)
 baseline-registry a ``baselines/`` module missing from ``registry.py`` or
                   without a ``tests/baselines/test_<module>.py`` file
 public-api        ``repro.__all__`` names that do not resolve or lack
@@ -125,17 +132,26 @@ class ExplicitDtypeRule(Rule):
     description = (
         "np.zeros/np.empty/np.ones/np.full in core/, autograd/ and serve/ must "
         "pass an explicit dtype= so the analytic-gradient, autograd and "
-        "serving-snapshot paths cannot drift between float32 and float64"
+        "serving-snapshot paths cannot drift between float32 and float64; "
+        "core/engine/ additionally requires dtype= on np.asarray/np.arange "
+        "because plan arrays feed the engines' bitwise-parity contract"
     )
 
     #: constructor -> index of the positional dtype argument
     CONSTRUCTORS = {"zeros": 1, "ones": 1, "empty": 1, "full": 2}
+    #: engine plans are compared as raw bytes across engines, so even
+    #: coercions/ranges must pin their dtype (platform default int drift
+    #: would silently break the parity gate, not just precision).
+    ENGINE_CONSTRUCTORS = {**CONSTRUCTORS, "asarray": 1, "arange": 3}
     SCOPES = ("core/", "autograd/", "serve/")
+    ENGINE_SCOPE = "core/engine/"
 
     def applies_to(self, sf: SourceFile) -> bool:
         return sf.package_rel.startswith(self.SCOPES)
 
     def check_file(self, sf: SourceFile) -> Iterator[Violation]:
+        engine = sf.package_rel.startswith(self.ENGINE_SCOPE)
+        constructors = self.ENGINE_CONSTRUCTORS if engine else self.CONSTRUCTORS
         for node in ast.walk(sf.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -145,7 +161,7 @@ class ExplicitDtypeRule(Rule):
             parts = dotted.split(".")
             if len(parts) != 2 or parts[0] not in ("np", "numpy"):
                 continue
-            position = self.CONSTRUCTORS.get(parts[1])
+            position = constructors.get(parts[1])
             if position is None:
                 continue
             if len(node.args) > position:
@@ -250,28 +266,65 @@ class InplaceMutationRule(Rule):
     id = "inplace-mutation"
     description = (
         "augmented assignment targeting a `.data` backing array outside a "
-        "`with no_grad():` block mutates values saved by backward closures"
+        "`with no_grad():` block mutates values saved by backward closures; "
+        "in core/engine/ any subscript write to an attribute-held array is "
+        "also banned — kernels return gradients, the optimizer owns writes"
     )
+
+    ENGINE_SCOPE = "core/engine/"
 
     def check_file(self, sf: SourceFile) -> Iterator[Violation]:
         parents = build_parent_map(sf.tree)
+        engine = sf.package_rel.startswith(self.ENGINE_SCOPE)
         for node in ast.walk(sf.tree):
-            if not isinstance(node, ast.AugAssign):
+            if not isinstance(node, (ast.Assign, ast.AugAssign)):
                 continue
-            if not self._targets_data(node.target):
-                continue
-            if self._inside_no_grad(node, parents):
-                continue
-            yield Violation(
-                path=sf.rel,
-                line=node.lineno,
-                col=node.col_offset,
-                rule=self.id,
-                message=(
-                    "augmented assignment mutates a tensor's .data in place; "
-                    "wrap in `with no_grad():` or route through the tape"
-                ),
-            )
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            targets = [
+                element
+                for t in targets
+                for element in (t.elts if isinstance(t, (ast.Tuple, ast.List)) else (t,))
+            ]
+            if isinstance(node, ast.AugAssign) and self._targets_data(node.target):
+                if self._inside_no_grad(node, parents):
+                    continue
+                yield Violation(
+                    path=sf.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        "augmented assignment mutates a tensor's .data in place; "
+                        "wrap in `with no_grad():` or route through the tape"
+                    ),
+                )
+            elif engine and any(self._writes_attribute_array(t) for t in targets):
+                yield Violation(
+                    path=sf.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        "subscript write to an attribute-held array inside "
+                        "core/engine/; kernels must return gradients and route "
+                        "memory writes through SparseAdam.update_rows"
+                    ),
+                )
+
+    @staticmethod
+    def _writes_attribute_array(target: ast.AST) -> bool:
+        """True for ``obj.attr[...] = ...`` / ``obj.attr[...] += ...``.
+
+        Subscript writes to *local* arrays (``ast.Name`` bases) are the
+        engine's bread and butter and stay allowed; only writes that
+        reach through an attribute — shared model/memory state — fire.
+        """
+        if not isinstance(target, ast.Subscript):
+            return False
+        base = target.value
+        while isinstance(base, ast.Subscript):
+            base = base.value
+        return isinstance(base, ast.Attribute)
 
     @staticmethod
     def _targets_data(target: ast.AST) -> bool:

@@ -13,6 +13,9 @@ Commands:
 * ``serve-replay`` — replay a dataset through the online serving layer
   (:mod:`repro.serve`) and report throughput, latency and offline
   parity.
+* ``bench-train`` — measure steady-state training throughput of the
+  reference vs batched execution engine (with a bitwise parity check)
+  and optionally enforce a minimum speedup.
 * ``lint`` — run the reprolint static-analysis suite over the source
   tree (see :mod:`repro.analysis`).
 
@@ -201,6 +204,56 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_train(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.engine.benchmark import measure_zoo
+
+    summary = measure_zoo(
+        dataset_names=args.datasets,
+        scale=args.scale,
+        dataset_seed=args.seed,
+        warm_history=args.history,
+        batch_size=args.batch_size,
+        passes=args.passes,
+        repeats=args.repeats,
+        seed=args.model_seed,
+    )
+    rows = [
+        [
+            r["dataset"],
+            r["reference_edges_per_second"],
+            r["batched_edges_per_second"],
+            r["speedup"],
+            "yes" if r["parity"] else "NO",
+        ]
+        for r in summary["datasets"]
+    ]
+    print(
+        format_table(
+            ["dataset", "reference e/s", "batched e/s", "speedup", "parity"],
+            rows,
+            title=(
+                f"engine throughput (S_batch={args.batch_size}, "
+                f"history={args.history}, geomean {summary['geomean_speedup']:.2f}x)"
+            ),
+        )
+    )
+    if args.output:
+        os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    if args.min_speedup and summary["geomean_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: geomean speedup {summary['geomean_speedup']:.2f}x below "
+            f"--min-speedup {args.min_speedup}"
+        )
+        return 1
+    return 0
+
+
 def cmd_export(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     save_edge_tsv(dataset.stream, args.output)
@@ -280,6 +333,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON report path ('' to skip writing)",
     )
     p.set_defaults(func=cmd_serve_replay)
+
+    p = sub.add_parser(
+        "bench-train",
+        help="benchmark the batched engine against the per-edge reference",
+    )
+    p.add_argument(
+        "--datasets",
+        nargs="+",
+        default=["movielens", "taobao", "kuaishou", "lastfm"],
+        choices=sorted(DATASET_BUILDERS),
+    )
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=3, help="dataset generation seed")
+    p.add_argument("--model-seed", type=int, default=7)
+    p.add_argument("--history", type=int, default=16384, help="warm-up stream edges")
+    p.add_argument("--batch-size", type=int, default=1024, help="measured S_batch")
+    p.add_argument("--passes", type=int, default=2, help="replay passes per timing")
+    p.add_argument("--repeats", type=int, default=3, help="timings (median kept)")
+    p.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail when the geomean speedup drops below this",
+    )
+    p.add_argument(
+        "--output",
+        default=os.path.join("benchmarks", "results", "train_throughput.json"),
+        help="JSON report path ('' to skip writing)",
+    )
+    p.set_defaults(func=cmd_bench_train)
 
     p = sub.add_parser(
         "lint", help="run the reprolint static-analysis suite"

@@ -89,9 +89,19 @@ class SUPAConfig:
     #: of Definition 2's time-dependent representations and measures
     #: better on the drifting datasets, so it is the default.
     decay_at_inference: bool = True
+    #: Which execution engine runs ``train_step``: ``"batched"`` compiles
+    #: micro-batches into structure-of-arrays plans and executes them
+    #: with vectorised kernels; ``"reference"`` is the original per-edge
+    #: object path kept as the correctness oracle.  Both produce
+    #: bitwise-identical results (``tests/core/test_engine_parity.py``).
+    engine: str = "batched"
     seed: int = 0
 
     def __post_init__(self) -> None:
+        if self.engine not in ("reference", "batched"):
+            raise ValueError(
+                f"engine must be 'reference' or 'batched', got {self.engine!r}"
+            )
         if self.dim < 1:
             raise ValueError(f"dim must be >= 1, got {self.dim}")
         if self.num_walks < 0 or self.walk_length < 1:

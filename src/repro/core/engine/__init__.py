@@ -1,0 +1,17 @@
+"""Batched execution layer for the sample-update-propagate hot path.
+
+- :mod:`repro.core.engine.kernels` — the vectorised numpy kernels every
+  float on the training path flows through (both engines share them);
+- :mod:`repro.core.engine.plan` — micro-batch compilation into
+  structure-of-arrays :class:`~repro.core.engine.plan.BatchPlan`\\ s;
+- :mod:`repro.core.engine.engine` — the :class:`ReferenceEngine` /
+  :class:`BatchedEngine` pair selected by ``SUPAConfig.engine``;
+- :mod:`repro.core.engine.benchmark` — the edges-per-second harness
+  behind ``repro bench-train``.
+
+No eager re-exports: the per-edge reference modules
+(:mod:`repro.core.updater`, :mod:`repro.core.propagation`) import the
+kernels, so pulling :mod:`~repro.core.engine.engine` in at package
+import time would close an import cycle.  Import the submodules
+directly.
+"""

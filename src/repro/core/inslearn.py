@@ -12,10 +12,11 @@ platform while it learns.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.core.engine import kernels
 from repro.core.model import SUPA
 from repro.core.updater import active_interval
 from repro.graph.streams import EdgeStream, StreamEdge
@@ -55,6 +56,8 @@ class BatchReport:
     written while training this batch (a superset of the rows that
     actually differ after best-model restore) — the serving layer uses
     it to refresh embedding snapshots and invalidate caches precisely.
+    It is a *sorted tuple* so that serialised reports (replay logs,
+    JSON traces) are byte-deterministic across runs.
     """
 
     batch_index: int
@@ -63,7 +66,7 @@ class BatchReport:
     iterations_run: int
     best_score: float
     mean_loss: float
-    touched_nodes: FrozenSet[int] = frozenset()
+    touched_nodes: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -103,12 +106,12 @@ def _record_and_observe(model: SUPA, edges: Sequence[StreamEdge]) -> List[_Recor
 def _train_pass(
     model: SUPA, records: Sequence[_Record], touched: Optional[Set[int]] = None
 ) -> float:
-    total = 0.0
-    for e, du, dv in records:
-        total += model.train_step(e.u, e.v, e.edge_type, e.t, du, dv)
-        if touched is not None:
-            touched |= model.last_touched_nodes
-    return total / max(1, len(records))
+    losses = model.train_batch(records)
+    if touched is not None:
+        touched.update(model.last_touched_nodes)
+    # Left-to-right sum matches the scalar accumulation this loop
+    # historically used, keeping logged losses bit-stable.
+    return kernels.sequential_sum(losses) / max(1, len(records))
 
 
 def validation_mrr(
@@ -155,8 +158,9 @@ class InsLearnTrainer:
         self.model = model
         self.config = config or InsLearnConfig()
         self._rng = new_rng(self.config.seed)
-        #: touched-node set of the most recent :meth:`train_one_batch`.
-        self.last_touched_nodes: FrozenSet[int] = frozenset()
+        #: sorted touched-node tuple of the most recent
+        #: :meth:`train_one_batch`.
+        self.last_touched_nodes: Tuple[int, ...] = ()
 
     def fit(self, stream: EdgeStream) -> TrainingReport:
         """Train the model on ``stream`` batch by batch (single pass)."""
@@ -213,7 +217,7 @@ class InsLearnTrainer:
         _record_and_observe(self.model, list(valid))
         touched.update(e.u for e in batch)
         touched.update(e.v for e in batch)
-        self.last_touched_nodes = frozenset(touched)
+        self.last_touched_nodes = tuple(sorted(touched))
 
         return BatchReport(
             batch_index=batch_index,

@@ -19,31 +19,20 @@ engine and finite differences in ``tests/core/test_gradients.py``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import SUPAConfig
-from repro.core.interactor import (
-    _log_sigmoid,
-    _sigmoid,
-    final_embedding,
-    interaction_loss,
-    interaction_loss_backward,
-)
+from repro.core.engine.engine import make_engine
+from repro.core.interactor import final_embedding
 from repro.core.memory import MemoryOptimizer, NodeMemory
 from repro.core.negative import NegativeSampler
-from repro.core.propagation import propagation_loss, propagation_loss_backward
-from repro.core.updater import (
-    active_interval,
-    target_embedding,
-    target_embedding_backward,
-    target_embeddings_batch,
-)
+from repro.core.updater import active_interval, target_embeddings_batch
 from repro.datasets.base import Dataset
 from repro.graph.dmhg import DMHG
 from repro.graph.metapath import MultiplexMetapath
-from repro.graph.sampling import CompiledMetapathSet, sample_influenced_graph_compiled
+from repro.graph.sampling import CompiledMetapathSet
 from repro.graph.schema import GraphSchema
 from repro.graph.streams import StreamEdge
 from repro.utils.rng import new_rng
@@ -112,10 +101,12 @@ class SUPA:
         )
         self.last_loss_components: Dict[str, float] = {}
         #: nodes whose memory rows (long / short / any context slot) were
-        #: written by the most recent :meth:`train_step` — the serving
-        #: layer uses these sets for snapshot refresh and cache
-        #: invalidation.
-        self.last_touched_nodes: Set[int] = set()
+        #: written by the most recent :meth:`train_step` /
+        #: :meth:`train_batch` — a *sorted tuple* (byte-deterministic
+        #: when serialised) the serving layer uses for snapshot refresh
+        #: and cache invalidation.
+        self.last_touched_nodes: Tuple[int, ...] = ()
+        self.engine = make_engine(self.config.engine, self)
 
     @classmethod
     def for_dataset(
@@ -176,110 +167,25 @@ class SUPA:
         """One gradient step for edge ``(u, v, edge_type, t)``.
 
         Does *not* insert the edge — InsLearn replays batches several
-        times and must control insertion separately.
+        times and must control insertion separately.  Delegates to the
+        configured execution engine (``SUPAConfig.engine``).
         """
-        cfg = self.config
-        rel = self.schema.edge_type_id(edge_type)
-        slot = self.memory.context_slot(rel)
+        return self.engine.train_step(u, v, edge_type, t, delta_u, delta_v)
 
-        fwd_u = target_embedding(self.memory, u, self._node_type_ids[u], delta_u, cfg)
-        fwd_v = target_embedding(self.memory, v, self._node_type_ids[v], delta_v, cfg)
+    def train_batch(
+        self, records: Sequence[Tuple[StreamEdge, float, float]]
+    ) -> np.ndarray:
+        """Gradient steps for a micro-batch of pre-recorded edges.
 
-        grad_h_star_u = np.zeros(cfg.dim, dtype=np.float64)
-        grad_h_star_v = np.zeros(cfg.dim, dtype=np.float64)
-        context_grads: Dict[int, np.ndarray] = {}
-        components: Dict[str, float] = {}
-
-        def add_context_grad(row: int, grad: np.ndarray) -> None:
-            if row in context_grads:
-                context_grads[row] = context_grads[row] + grad
-            else:
-                context_grads[row] = grad
-
-        # --- interaction loss (Eq. 7) -----------------------------------
-        if cfg.use_inter:
-            c_u = self.memory.context[slot, u]
-            c_v = self.memory.context[slot, v]
-            inter = interaction_loss(fwd_u.h_star, c_u, fwd_v.h_star, c_v)
-            g_hu, g_cu, g_hv, g_cv = interaction_loss_backward(inter)
-            grad_h_star_u += g_hu
-            grad_h_star_v += g_hv
-            add_context_grad(self.optimizer.context_row(slot, u), g_cu)
-            add_context_grad(self.optimizer.context_row(slot, v), g_cv)
-            components["inter"] = inter.loss
-
-        # --- propagation loss (Eq. 10) ----------------------------------
-        if cfg.use_prop and cfg.num_walks > 0:
-            influenced = sample_influenced_graph_compiled(
-                self.graph,
-                u,
-                v,
-                rel,
-                t,
-                self._compiled_metapaths,
-                num_walks=cfg.num_walks,
-                walk_length=cfg.walk_length,
-                rng=self.rng,
-            )
-            prop = propagation_loss(
-                self.memory, influenced, fwd_u.h_star, fwd_v.h_star, t, cfg
-            )
-            if prop.steps:
-                g_u, g_v, ctx = propagation_loss_backward(
-                    self.memory, prop, fwd_u.h_star, fwd_v.h_star
-                )
-                grad_h_star_u += g_u
-                grad_h_star_v += g_v
-                for ctx_slot, node, grad in ctx:
-                    add_context_grad(self.optimizer.context_row(ctx_slot, node), grad)
-            components["prop"] = prop.loss
-
-        # --- negative sampling loss (Eq. 12) -----------------------------
-        if cfg.use_neg and cfg.num_negatives > 0:
-            neg_loss = 0.0
-            sides = (
-                (fwd_u, grad_h_star_u, self._node_type_ids[v]),
-                (fwd_v, grad_h_star_v, self._node_type_ids[u]),
-            )
-            for fwd, grad_h_star, opposite_type in sides:
-                samples = self.negatives.sample(
-                    int(opposite_type), cfg.num_negatives, self.rng
-                )
-                for i in samples:
-                    c_i = self.memory.context[slot, i]
-                    score = float(np.dot(c_i, fwd.h_star))
-                    neg_loss += -_log_sigmoid(-score)
-                    coeff = _sigmoid(score)
-                    add_context_grad(
-                        self.optimizer.context_row(slot, int(i)), coeff * fwd.h_star
-                    )
-                    grad_h_star += coeff * c_i
-            components["neg"] = neg_loss
-
-        # --- backprop through the updater and apply ----------------------
-        long_grads: Dict[int, np.ndarray] = {}
-        short_grads: Dict[int, np.ndarray] = {}
-        alpha_grads: Dict[int, float] = {}
-        for fwd, grad in ((fwd_u, grad_h_star_u), (fwd_v, grad_h_star_v)):
-            g_long, g_short, g_alpha = target_embedding_backward(
-                self.memory, fwd, grad, cfg
-            )
-            long_grads[fwd.node] = long_grads.get(fwd.node, 0.0) + g_long
-            if g_short is not None:
-                short_grads[fwd.node] = short_grads.get(fwd.node, 0.0) + g_short
-            if g_alpha is not None:
-                alpha_grads[fwd.alpha_slot] = (
-                    alpha_grads.get(fwd.alpha_slot, 0.0) + g_alpha
-                )
-
-        self.optimizer.step(long_grads, short_grads, context_grads, alpha_grads)
-        num_nodes = self.memory.num_nodes
-        touched: Set[int] = set(long_grads)
-        touched.update(short_grads)
-        touched.update(row % num_nodes for row in context_grads)
-        self.last_touched_nodes = touched
-        self.last_loss_components = components
-        return float(sum(components.values()))
+        ``records`` pairs each edge with its pre-insertion active
+        intervals ``(Delta_u, Delta_v)`` — the shape InsLearn's replay
+        passes already hold.  Returns the per-edge losses in order and
+        leaves the batch's touched-node union on
+        :attr:`last_touched_nodes`.  The batched engine compiles the
+        whole micro-batch into one structure-of-arrays plan here, which
+        is where its speedup comes from.
+        """
+        return self.engine.train_batch(records)
 
     # --------------------------------------------------------------- inference
 

@@ -7,6 +7,12 @@ nodes across the sampled influenced graph.  Crossing an edge of age
 **termination** via the out-of-date filter ``D`` (Eq. 9).  The
 propagation loss (Eq. 10) is a skip-gram objective between the arriving
 information and each influenced node's context embedding.
+
+The arithmetic lives in the shared array kernels
+(:mod:`repro.core.engine.kernels`); this module walks the influenced
+graph's Python objects, lowers the surviving hops to flat arrays and
+calls the same kernels the batched execution engine uses, so the two
+engines cannot drift numerically.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.core.config import SUPAConfig, g_decay
-from repro.core.interactor import _log_sigmoid, _sigmoid
+from repro.core.engine import kernels
 from repro.core.memory import NodeMemory
 from repro.graph.sampling import InfluencedGraph, Walk
 
@@ -47,7 +53,13 @@ class PropagationForward:
 
 
 def edge_factor(delta_e: float, cfg: SUPAConfig) -> float:
-    """``D(Delta_E) * g(Delta_E)`` of Eq. 8; 1.0 when decay is ablated."""
+    """``D(Delta_E) * g(Delta_E)`` of Eq. 8; 1.0 when decay is ablated.
+
+    Scalar twin of :func:`repro.core.engine.kernels.edge_factors` (same
+    branches, same arithmetic — the parity suite asserts they agree
+    bitwise); the scalar form avoids a 1-element array round trip on
+    every hop of the reference path.
+    """
     if not cfg.use_propagation_decay:
         return 1.0
     if delta_e > cfg.tau:
@@ -70,6 +82,17 @@ def _walk_steps(
     return out
 
 
+def _step_arrays(
+    memory: NodeMemory, steps: List[PropagationStep]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Lower step objects to ``(slots, nodes, sides, cums)`` arrays."""
+    nodes = np.asarray([s.node for s in steps], dtype=np.int64)
+    rels = np.asarray([s.rel for s in steps], dtype=np.int64)
+    sides = np.asarray([s.source_side for s in steps], dtype=np.int64)
+    cums = np.asarray([s.cum_factor for s in steps], dtype=np.float64)
+    return memory.context_slots(rels), nodes, sides, cums
+
+
 def propagation_loss(
     memory: NodeMemory,
     influenced: InfluencedGraph,
@@ -85,24 +108,27 @@ def propagation_loss(
     folded into the short-term memories).
     """
     steps: List[PropagationStep] = []
-    loss = 0.0
-    sides = ((influenced.walks_u, h_star_u, 0), (influenced.walks_v, h_star_v, 1))
-    for walks, h_star, side in sides:
+    for walks, side in ((influenced.walks_u, 0), (influenced.walks_v, 1)):
         for walk in walks:
             for node, rel, cum in _walk_steps(walk, now, side, cfg):
-                slot = memory.context_slot(rel)
-                d_vec = cum * h_star
-                score = float(np.dot(memory.context[slot, node], d_vec))
-                loss += -_log_sigmoid(score)
                 steps.append(
                     PropagationStep(
                         node=node,
                         rel=rel,
                         cum_factor=cum,
                         source_side=side,
-                        score=score,
+                        score=0.0,
                     )
                 )
+    if not steps:
+        return PropagationForward(loss=0.0, steps=steps)
+    slots, nodes, sides, cums = _step_arrays(memory, steps)
+    h_sides = np.stack((h_star_u, h_star_v))
+    scores, loss = kernels.propagation_forward(
+        memory.context[slots, nodes], h_sides, sides, cums
+    )
+    for i, step in enumerate(steps):
+        step.score = float(scores[i])
     return PropagationForward(loss=loss, steps=steps)
 
 
@@ -118,17 +144,16 @@ def propagation_loss_backward(
     ``context_grads`` is a list of ``(context_slot, node, grad)``
     contributions (duplicates to be accumulated by the caller).
     """
-    grad_u = np.zeros_like(h_star_u)
-    grad_v = np.zeros_like(h_star_v)
-    context_grads: List[Tuple[int, int, np.ndarray]] = []
-    for step in fwd.steps:
-        coeff = _sigmoid(step.score) - 1.0
-        h_star = h_star_u if step.source_side == 0 else h_star_v
-        slot = memory.context_slot(step.rel)
-        context_grads.append((slot, step.node, coeff * step.cum_factor * h_star))
-        contribution = coeff * step.cum_factor * memory.context[slot, step.node]
-        if step.source_side == 0:
-            grad_u += contribution
-        else:
-            grad_v += contribution
-    return grad_u, grad_v, context_grads
+    if not fwd.steps:
+        zero = np.zeros(h_star_u.shape, dtype=np.float64)
+        return zero, zero.copy(), []
+    slots, nodes, sides, cums = _step_arrays(memory, fwd.steps)
+    scores = np.asarray([s.score for s in fwd.steps], dtype=np.float64)
+    h_sides = np.stack((h_star_u, h_star_v))
+    ctx_grads, grad_sides = kernels.propagation_backward(
+        memory.context[slots, nodes], h_sides, sides, cums, scores
+    )
+    context_grads = [
+        (int(slots[i]), step.node, ctx_grads[i]) for i, step in enumerate(fwd.steps)
+    ]
+    return grad_sides[0], grad_sides[1], context_grads

@@ -9,6 +9,10 @@ memory according to the active time interval:
 The forward returns everything the analytic backward needs, and a
 vectorised batch version serves candidate scoring (Eq. 15 over the whole
 catalogue).
+
+The per-node forward/backward are thin 1-row wrappers over the shared
+array kernels (:mod:`repro.core.engine.kernels`), so the reference and
+batched execution engines compute Eq. 5 with literally the same code.
 """
 
 from __future__ import annotations
@@ -17,7 +21,8 @@ from typing import NamedTuple
 
 import numpy as np
 
-from repro.core.config import SUPAConfig, g_decay, g_decay_derivative
+from repro.core.config import SUPAConfig, g_decay
+from repro.core.engine import kernels
 from repro.core.memory import NodeMemory
 
 
@@ -30,7 +35,9 @@ class TargetEmbedding(NamedTuple):
 
     ``gamma`` is the forgetting coefficient applied to the short-term
     memory and ``x`` its pre-``g`` argument ``sigma(alpha) * Delta``;
-    both are needed by :func:`target_embedding_backward`.
+    both are needed by :func:`target_embedding_backward`.  ``sig``
+    caches the forward's ``sigma(alpha)`` (``None`` on ablation
+    branches) so the backward skips the recomputation.
     """
 
     h_star: np.ndarray
@@ -39,6 +46,7 @@ class TargetEmbedding(NamedTuple):
     node: int
     alpha_slot: int
     delta: float
+    sig: "np.ndarray | None" = None
 
 
 def active_interval(last_time: float, now: float) -> float:
@@ -62,15 +70,14 @@ def target_embedding(
     time-blind part of SUPA_nt).
     """
     slot = memory.alpha_slot(node_type_id)
-    if not cfg.use_short_term:
-        return TargetEmbedding(memory.long[node].copy(), 0.0, 0.0, node, slot, delta)
-    if not cfg.use_forgetting:
-        h = memory.long[node] + memory.short[node]
-        return TargetEmbedding(h, 1.0, 0.0, node, slot, delta)
-    x = float(_sigmoid(memory.alpha[slot]) * delta)
-    gamma = float(g_decay(x))
-    h = memory.long[node] + gamma * memory.short[node]
-    return TargetEmbedding(h, gamma, x, node, slot, delta)
+    h, gamma, x, sig = kernels.target_forward(
+        memory.long[node : node + 1],
+        memory.short[node : node + 1],
+        memory.alpha[slot : slot + 1],
+        np.asarray([delta], dtype=np.float64),
+        cfg,
+    )
+    return TargetEmbedding(h[0], float(gamma[0]), float(x[0]), node, slot, delta, sig)
 
 
 def target_embedding_backward(
@@ -85,16 +92,22 @@ def target_embedding_backward(
     The alpha gradient chains ``g'(x) * Delta * sigma'(alpha)`` through
     the inner product of the upstream gradient with ``h^S``.
     """
-    grad_long = grad_h_star
-    if not cfg.use_short_term:
-        return grad_long, None, None
-    grad_short = fwd.gamma * grad_h_star
-    if not cfg.use_forgetting:
-        return grad_long, grad_short, None
-    sig = _sigmoid(memory.alpha[fwd.alpha_slot])
-    dgamma_dalpha = g_decay_derivative(fwd.x) * fwd.delta * sig * (1.0 - sig)
-    grad_alpha = float(np.dot(grad_h_star, memory.short[fwd.node]) * dgamma_dalpha)
-    return grad_long, grad_short, grad_alpha
+    slot = fwd.alpha_slot
+    g_long, g_short, g_alpha = kernels.target_backward(
+        grad_h_star[None, :],
+        memory.short[fwd.node : fwd.node + 1],
+        memory.alpha[slot : slot + 1],
+        np.asarray([fwd.gamma], dtype=np.float64),
+        np.asarray([fwd.x], dtype=np.float64),
+        np.asarray([fwd.delta], dtype=np.float64),
+        cfg,
+        sig=fwd.sig,
+    )
+    return (
+        g_long[0],
+        None if g_short is None else g_short[0],
+        None if g_alpha is None else float(g_alpha[0]),
+    )
 
 
 def target_embeddings_batch(

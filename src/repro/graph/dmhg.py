@@ -71,12 +71,25 @@ class DMHG:
         self._num_alive_edges = 0
         self._last_time: List[float] = []
         self._degree: List[int] = []
+        self._mutation_count = 0
 
     # ------------------------------------------------------------------ nodes
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotone counter bumped by every structural change.
+
+        Neighbourhood caches (``repro.graph.sampling``'s candidate
+        cache) compare this stamp to decide whether their cached
+        adjacency views are still valid — cheap, exact invalidation
+        without back-references from the graph to its caches.
+        """
+        return self._mutation_count
 
     def add_node(self, node_type: str) -> int:
         """Create a node of ``node_type`` and return its integer id."""
         type_id = self.schema.node_type_id(node_type)
+        self._mutation_count += 1
         node = len(self._node_types)
         self._node_types.append(type_id)
         self._nodes_by_type[type_id].append(node)
@@ -127,6 +140,7 @@ class DMHG:
                     f"edge type {edge_type!r} connects {src_type}->{dst_type}, "
                     f"got {self.node_type(u)}->{self.node_type(v)}"
                 )
+        self._mutation_count += 1
         index = len(self._edge_u)
         self._edge_u.append(u)
         self._edge_v.append(v)
@@ -148,6 +162,7 @@ class DMHG:
             raise IndexError(f"edge index {index} out of range")
         if not self._edge_alive[index]:
             return
+        self._mutation_count += 1
         self._edge_alive[index] = False
         self._num_alive_edges -= 1
         for node in (self._edge_u[index], self._edge_v[index]):

@@ -13,7 +13,7 @@ walk never trivially crosses the edge whose influence it measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, NamedTuple, Optional, Sequence, Set
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -107,12 +107,35 @@ class CompiledMetapath:
             frozenset(schema.edge_type_id(r) for r in rset)
             for rset in metapath.edge_type_sets
         ]
+        # (rel_ids, next_type_id) per hop position within one period —
+        # the exact filter pair every hop query uses, precomputed so the
+        # batch sampler can key its candidate cache on it.
+        self._hop_filters = [
+            (self._rel_id_sets[p], self._type_ids[(p + 1) % self.period])
+            for p in range(self.period)
+        ]
+        self._filters_for_len: Dict[int, list] = {}
 
     def type_id_at(self, position: int) -> int:
         return self._type_ids[position % self.period]
 
     def rel_ids_at(self, hop: int) -> frozenset:
         return self._rel_id_sets[hop % self.period]
+
+    def hop_filter(self, position: int) -> Tuple[frozenset, int]:
+        """The ``(rel_ids, next_type_id)`` filter pair of hop ``position``."""
+        return self._hop_filters[position % self.period]
+
+    def filters_for(self, hops: int) -> list:
+        """:meth:`hop_filter` of positions ``0..hops-1`` as one list, so
+        the walk hot loop iterates filter pairs with no per-hop indexing
+        or modulo.  Cached per length (walk length is a config constant,
+        so in practice this holds a single entry)."""
+        cached = self._filters_for_len.get(hops)
+        if cached is None:
+            cached = [self._hop_filters[p % self.period] for p in range(hops)]
+            self._filters_for_len[hops] = cached
+        return cached
 
 
 class CompiledMetapathSet:
@@ -173,6 +196,217 @@ def sample_influenced_graph_compiled(
             if len(walk) > 1:
                 bucket.append(walk)
     return result
+
+
+class WalkPlanArrays(NamedTuple):
+    """Structure-of-arrays form of one edge's influenced graph.
+
+    ``nodes``/``rels``/``times`` hold every walk's hops back to back;
+    ``offsets`` is the CSR boundary array (walk ``w`` owns
+    ``[offsets[w], offsets[w+1])``) and ``sides`` records whether a walk
+    is rooted at ``u`` (0) or ``v`` (1).  Start nodes are not stored —
+    propagation only ever consumes hops.
+    """
+
+    nodes: np.ndarray  # (S,) int64
+    rels: np.ndarray  # (S,) int64
+    times: np.ndarray  # (S,) float64
+    offsets: np.ndarray  # (W + 1,) int64
+    sides: np.ndarray  # (W,) int64
+
+
+_EMPTY_CANDIDATES = (
+    np.empty(0, dtype=np.int64),
+    np.empty(0, dtype=np.int64),
+    np.empty(0, dtype=np.float64),
+)
+
+
+class NeighborCandidateCache:
+    """Memoises filtered neighbour queries as flat arrays.
+
+    The walk hot path asks the same ``(node, rel filter, type filter)``
+    question over and over — InsLearn replays each batch up to
+    ``N_iter`` times over a graph that does not change during the
+    replays.  This cache answers repeats from ``(others, rels, times)``
+    numpy arrays instead of re-scanning adjacency lists, and drops
+    everything the moment :attr:`DMHG.mutation_count` moves, so a stale
+    answer is impossible.
+    """
+
+    def __init__(self, graph: DMHG):
+        self.graph = graph
+        self._stamp = graph.mutation_count
+        self._store: Dict[Tuple[int, frozenset, Optional[int]], tuple] = {}
+        #: bound ``dict.get`` of the store (stable: :meth:`sync` clears
+        #: the dict in place, never rebinds it) — the walk sampler's hot
+        #: loop calls it directly after :meth:`sync`.
+        self.store_get = self._store.get
+        self.hits = 0
+        self.misses = 0
+
+    def sync(self) -> None:
+        """Drop every entry if the graph has mutated since the last call.
+
+        The walk sampler calls this once per edge and then reads
+        :attr:`_store` directly — the graph cannot mutate in the middle
+        of sampling one edge's walks, so re-checking the stamp on every
+        hop (tens of times per edge) would be pure overhead.
+        """
+        stamp = self.graph.mutation_count
+        if stamp != self._stamp:
+            self._store.clear()
+            self._stamp = stamp
+
+    def fill(
+        self, key: Tuple[int, frozenset, Optional[int]]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Answer a missed ``(node, rel_ids, type_id)`` query from the
+        graph and memoise it.  Callers must :meth:`sync` first."""
+        self.misses += 1
+        entries = self.graph.neighbors_ids(key[0], rel_ids=key[1], type_id=key[2])
+        if entries:
+            hit = (
+                np.asarray([e.other for e in entries], dtype=np.int64),
+                np.asarray([e.rel for e in entries], dtype=np.int64),
+                np.asarray([e.t for e in entries], dtype=np.float64),
+            )
+        else:
+            hit = _EMPTY_CANDIDATES
+        self._store[key] = hit
+        return hit
+
+    def candidates(
+        self, node: int, rel_ids: frozenset, type_id: Optional[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(others, rels, times)`` arrays of admissible neighbours of
+        ``node``, in adjacency (insertion) order."""
+        self.sync()
+        key = (node, rel_ids, type_id)
+        hit = self._store.get(key)
+        if hit is None:
+            return self.fill(key)
+        self.hits += 1
+        return hit
+
+
+def sample_walks_into(
+    graph: DMHG,
+    u: int,
+    v: int,
+    compiled: CompiledMetapathSet,
+    num_walks: int,
+    walk_length: int,
+    rng,
+    cache: Optional[NeighborCandidateCache],
+    nodes: List[int],
+    rels: List[int],
+    times: List[float],
+    offsets: List[int],
+    sides: List[int],
+) -> int:
+    """Sample one edge's influenced graph, appending hops to flat lists.
+
+    The batch plan compiler passes *batch-level* lists here so a whole
+    micro-batch accumulates into one flat CSR structure with a single
+    list→array conversion at the end — no per-edge arrays, no per-edge
+    concatenation.  ``offsets`` must arrive non-empty (the running CSR
+    boundary list, ``[0]`` for a fresh structure); entries appended to
+    it are global positions in ``nodes``.  Returns the number of hops
+    appended for this edge.
+
+    RNG-order contract: this function consumes *exactly* the same draws
+    in the same order as :func:`sample_influenced_graph_compiled` — per
+    side (``u`` first), per walk: one metapath draw (even when only one
+    metapath applies), then one uniform candidate draw per hop until the
+    walk length is reached or no candidate exists.  Walks that fail at
+    the first hop are dropped (their metapath draw stays consumed,
+    matching the reference's ``len(walk) > 1`` filter).
+    """
+    begin_edge = len(nodes)
+    hops = walk_length - 1
+    integers = rng.integers
+    if cache is not None:
+        cache.sync()
+        store = cache.store_get
+        fill = cache.fill
+    for side, start in ((0, u), (1, v)):
+        options = compiled.for_type(graph.node_type_id(start))
+        if not options:
+            continue
+        num_options = len(options)
+        for _ in range(num_walks):
+            mp = options[integers(num_options)]
+            filters = mp.filters_for(hops)
+            current = start
+            begin = len(nodes)
+            if cache is not None:
+                for rel_ids, type_id in filters:
+                    key = (current, rel_ids, type_id)
+                    hit = store(key)
+                    if hit is None:
+                        hit = fill(key)
+                    else:
+                        cache.hits += 1
+                    others, hop_rels, hop_times = hit
+                    n = others.shape[0]
+                    if n == 0:
+                        break
+                    pick = integers(n)
+                    current = int(others[pick])
+                    nodes.append(current)
+                    rels.append(hop_rels[pick])
+                    times.append(hop_times[pick])
+            else:
+                for rel_ids, type_id in filters:
+                    candidates = graph.neighbors_ids(
+                        current, rel_ids=rel_ids, type_id=type_id
+                    )
+                    if not candidates:
+                        break
+                    entry = candidates[int(integers(len(candidates)))]
+                    current = entry.other
+                    nodes.append(entry.other)
+                    rels.append(entry.rel)
+                    times.append(entry.t)
+            if len(nodes) > begin:
+                offsets.append(len(nodes))
+                sides.append(side)
+    return len(nodes) - begin_edge
+
+
+def sample_walk_plan(
+    graph: DMHG,
+    u: int,
+    v: int,
+    compiled: CompiledMetapathSet,
+    num_walks: int,
+    walk_length: int,
+    rng,
+    cache: Optional[NeighborCandidateCache] = None,
+) -> WalkPlanArrays:
+    """Sample one edge's influenced graph directly into plan arrays.
+
+    Single-edge wrapper over :func:`sample_walks_into` (same RNG-order
+    contract) — kept as the standalone API; the batch compiler uses the
+    flat-list form directly.
+    """
+    nodes: List[int] = []
+    rels: List[int] = []
+    times: List[float] = []
+    offsets: List[int] = [0]
+    sides: List[int] = []
+    sample_walks_into(
+        graph, u, v, compiled, num_walks, walk_length, rng, cache,
+        nodes, rels, times, offsets, sides,
+    )
+    return WalkPlanArrays(
+        nodes=np.asarray(nodes, dtype=np.int64),
+        rels=np.asarray(rels, dtype=np.int64),
+        times=np.asarray(times, dtype=np.float64),
+        offsets=np.asarray(offsets, dtype=np.int64),
+        sides=np.asarray(sides, dtype=np.int64),
+    )
 
 
 def sample_metapath_walk(

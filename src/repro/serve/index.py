@@ -16,12 +16,20 @@ using the trainer's touched-node sets:
   k-th score are dropped (the item could enter the list);
 * every other entry is provably still exact and is retained, with its
   version stamp advanced to the new snapshot.
+
+Orthogonally to correctness-driven invalidation, entries are *evicted*
+on capacity pressure: LRU count (``cache_size``), age (``ttl_seconds``,
+lazily on access and eagerly via :meth:`TopKIndex.evict_expired`) and
+memory footprint (``max_bytes``, oldest-first).  Evictions never make an
+answer wrong — they only cost a recomputation — and are tallied
+separately from invalidations.
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
-from typing import Dict, Iterable, NamedTuple, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, NamedTuple, Optional, Set, Tuple
 
 import numpy as np
 
@@ -34,6 +42,8 @@ class CacheEntry(NamedTuple):
     version: int
     items: np.ndarray
     kth_score: float
+    created_at: float = 0.0
+    nbytes: int = 0
 
 
 class TopKIndex:
@@ -48,6 +58,16 @@ class TopKIndex:
         0 disables caching.
     score_block:
         Candidate rows scored per matmul block.
+    ttl_seconds:
+        Entries older than this are expired — lazily when accessed, and
+        in bulk via :meth:`evict_expired`.  ``None`` disables aging.
+    max_bytes:
+        Soft cap on the summed payload bytes of cached answers; when an
+        insert pushes past it, oldest entries are evicted until back
+        under.  ``None`` disables the cap.
+    clock:
+        Injectable time source for TTL accounting (seconds, monotonic);
+        defaults to :func:`time.monotonic`.
     """
 
     def __init__(
@@ -55,19 +75,56 @@ class TopKIndex:
         candidates: np.ndarray,
         cache_size: int = 1024,
         score_block: int = 512,
+        ttl_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        clock: Optional[Callable[[], float]] = None,
     ):
         self.candidates = np.asarray(candidates, dtype=np.int64)
         if self.candidates.ndim != 1 or self.candidates.size == 0:
             raise ValueError("candidates must be a non-empty 1-D id array")
         if score_block < 1:
             raise ValueError(f"score_block must be >= 1, got {score_block}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be > 0, got {ttl_seconds}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self.cache_size = int(cache_size)
         self.score_block = int(score_block)
+        self.ttl_seconds = ttl_seconds
+        self.max_bytes = max_bytes
+        self._clock = clock if clock is not None else time.monotonic
         self._candidate_set: Set[int] = set(int(c) for c in self.candidates)
         self._cache: "OrderedDict[Tuple[int, int], CacheEntry]" = OrderedDict()
+        self._cache_bytes = 0
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.evictions = 0
+
+    # ----------------------------------------------------------------- eviction
+
+    def _expired(self, entry: CacheEntry, now: float) -> bool:
+        return self.ttl_seconds is not None and now - entry.created_at > self.ttl_seconds
+
+    def _evict(self, key: Tuple[int, int]) -> None:
+        entry = self._cache.pop(key)
+        self._cache_bytes -= entry.nbytes
+        self.evictions += 1
+
+    def evict_expired(self) -> int:
+        """Eagerly drop every entry past its TTL; returns the count."""
+        if self.ttl_seconds is None:
+            return 0
+        now = self._clock()
+        stale = [k for k, e in self._cache.items() if self._expired(e, now)]
+        for key in stale:
+            self._evict(key)
+        return len(stale)
+
+    @property
+    def cache_bytes(self) -> int:
+        """Summed payload bytes of the currently cached answers."""
+        return self._cache_bytes
 
     # ---------------------------------------------------------------- scoring
 
@@ -110,7 +167,11 @@ class TopKIndex:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         key = (int(user), int(k))
+        now = self._clock()
         entry = self._cache.get(key)
+        if entry is not None and self._expired(entry, now):
+            self._evict(key)
+            entry = None
         if entry is not None and entry.version == snapshot.version:
             self._cache.move_to_end(key)
             self.hits += 1
@@ -120,10 +181,20 @@ class TopKIndex:
         positions, kth = self._top_k_exact(scores, k)
         items = self.candidates[positions]
         if self.cache_size > 0:
-            self._cache[key] = CacheEntry(snapshot.version, items, kth)
-            self._cache.move_to_end(key)
+            old = self._cache.pop(key, None)
+            if old is not None:
+                self._cache_bytes -= old.nbytes
+            self._cache[key] = CacheEntry(
+                snapshot.version, items, kth, now, int(items.nbytes)
+            )
+            self._cache_bytes += int(items.nbytes)
             while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
+                self._evict(next(iter(self._cache)))
+            if self.max_bytes is not None:
+                # Oldest-first until under the cap; a single oversized
+                # answer is evicted too (caching it could never pay off).
+                while self._cache_bytes > self.max_bytes and self._cache:
+                    self._evict(next(iter(self._cache)))
         return items
 
     # ----------------------------------------------------------- invalidation
@@ -166,10 +237,15 @@ class TopKIndex:
                 stale = False
             if stale:
                 del self._cache[key]
+                self._cache_bytes -= entry.nbytes
                 dropped += 1
             else:
                 self._cache[key] = CacheEntry(
-                    snapshot.version, entry.items, entry.kth_score
+                    snapshot.version,
+                    entry.items,
+                    entry.kth_score,
+                    entry.created_at,
+                    entry.nbytes,
                 )
         self.invalidations += dropped
         return dropped

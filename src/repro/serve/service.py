@@ -53,12 +53,19 @@ class ServeConfig:
     capacity: int = 2048  # queue bound before backpressure
     overflow: str = "raise"  # backpressure policy: raise | drop_new | drop_oldest
     cache_size: int = 1024  # (user, k) entries in the top-K LRU cache
+    cache_ttl_seconds: Optional[float] = None  # age out cached answers; None = never
+    cache_max_bytes: Optional[int] = None  # memory-pressure cap on cached answers
     store_block_size: int = 256  # rows per copy-on-write block
+    compact_every: int = 64  # defragment the store every N publishes; 0 = never
     score_block: int = 512  # candidate rows per scoring matmul
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.compact_every < 0:
+            raise ValueError(
+                f"compact_every must be >= 0, got {self.compact_every}"
+            )
         if self.capacity < self.batch_size:
             raise ValueError(
                 f"capacity ({self.capacity}) must be >= batch_size "
@@ -132,6 +139,8 @@ class RecommendationService:
             "cache.hits",
             "cache.misses",
             "cache.invalidated",
+            "cache.evictions",
+            "store.compactions",
             "serve.recommendations",
             "serve.stale_serves",
         ):
@@ -148,11 +157,14 @@ class RecommendationService:
         self.store = VersionedEmbeddingStore(
             self.model.final_embeddings(all_nodes, self.edge_type, self._clock),
             block_size=self.config.store_block_size,
+            compact_every=self.config.compact_every,
         )
         self.index = TopKIndex(
             self.items,
             cache_size=self.config.cache_size,
             score_block=self.config.score_block,
+            ttl_seconds=self.config.cache_ttl_seconds,
+            max_bytes=self.config.cache_max_bytes,
         )
         self.queue = EventQueue(
             handler=self._apply_batch,
@@ -232,7 +244,8 @@ class RecommendationService:
                 if self._full_refresh:
                     rows = np.arange(self.dataset.num_nodes, dtype=np.int64)
                 else:
-                    rows = np.asarray(sorted(report.touched_nodes), dtype=np.int64)
+                    # touched_nodes is a sorted tuple by contract
+                    rows = np.asarray(report.touched_nodes, dtype=np.int64)
                 snapshot = self.store.publish(
                     rows,
                     self.model.final_embeddings(rows, self.edge_type, self._clock),
@@ -242,6 +255,8 @@ class RecommendationService:
             self._updates_applied += 1
             self.metrics.counter("updates.applied").value = self._updates_applied
             self.metrics.counter("cache.invalidated").value = self.index.invalidations
+            self.metrics.counter("cache.evictions").value = self.index.evictions
+            self.metrics.counter("store.compactions").value = self.store.compactions
             self.metrics.gauge("store.version").set(snapshot.version)
         finally:
             self._update_in_flight = False
@@ -268,6 +283,7 @@ class RecommendationService:
             self.metrics.counter("cache.hits").inc()
         else:
             self.metrics.counter("cache.misses").inc()
+        self.metrics.counter("cache.evictions").value = self.index.evictions
         stale_by = self.queue.pending
         if self._update_in_flight:
             stale_by += self.config.batch_size

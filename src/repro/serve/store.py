@@ -17,6 +17,15 @@ this with block-granular copy-on-write:
 Blocks untouched by an update are shared structurally between
 consecutive snapshots, so a publish that touches ``m`` rows costs
 ``O(ceil(m / block) * block * dim)`` — not ``O(num_rows * dim)``.
+
+After many partial publishes the live snapshot's blocks are small
+arrays allocated across many update generations, which scatters the
+table over the heap.  :meth:`VersionedEmbeddingStore.compact` rebuilds
+the current version into one contiguous backing matrix (blocks become
+views into it), restoring locality for blockwise scoring; passing
+``compact_every=N`` runs it automatically every ``N`` publishes.
+Compaction is content-preserving — the version number does not change
+and already-pinned snapshots are untouched.
 """
 
 from __future__ import annotations
@@ -99,16 +108,26 @@ class VersionedEmbeddingStore:
     block_size:
         Rows per copy-on-write block.  Smaller blocks copy less per
         update but cost more gather overhead per read.
+    compact_every:
+        Automatically :meth:`compact` after every this many publishes;
+        0 (the default) disables automatic compaction.
     """
 
-    def __init__(self, initial: np.ndarray, block_size: int = 256):
+    def __init__(
+        self, initial: np.ndarray, block_size: int = 256, compact_every: int = 0
+    ):
         initial = np.asarray(initial, dtype=np.float64)
         if initial.ndim != 2:
             raise ValueError(f"expected a 2-D matrix, got shape {initial.shape}")
         if block_size < 1:
             raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if compact_every < 0:
+            raise ValueError(f"compact_every must be >= 0, got {compact_every}")
         self.num_rows, self.dim = initial.shape
         self._block_size = block_size
+        self.compact_every = int(compact_every)
+        self.compactions = 0
+        self._publishes_since_compact = 0
         self._lock = threading.Lock()
         blocks = tuple(
             _freeze(initial[lo : lo + block_size].copy())
@@ -160,4 +179,38 @@ class VersionedEmbeddingStore:
                 blocks[b] = _freeze(writable)
             new = Snapshot(old.version + 1, tuple(blocks), self._block_size, self.num_rows)
             self._current = new
+            self._publishes_since_compact += 1
+            if self.compact_every and self._publishes_since_compact >= self.compact_every:
+                new = self._compact_locked()
             return new
+
+    def _compact_locked(self) -> Snapshot:
+        """Rebuild the current snapshot over one contiguous buffer.
+
+        Caller must hold ``self._lock``.  Content and version are
+        preserved; only the backing memory layout changes.
+        """
+        old = self._current
+        matrix = (
+            np.concatenate(old._blocks, axis=0)
+            if old._blocks
+            else np.empty((0, self.dim), dtype=np.float64)
+        )
+        _freeze(matrix)
+        blocks = tuple(
+            matrix[lo : lo + self._block_size]
+            for lo in range(0, self.num_rows, self._block_size)
+        )
+        self._current = Snapshot(old.version, blocks, self._block_size, self.num_rows)
+        self.compactions += 1
+        self._publishes_since_compact = 0
+        return self._current
+
+    def compact(self) -> Snapshot:
+        """Defragment the live snapshot into one contiguous allocation.
+
+        Readers holding older snapshots are unaffected; the returned
+        snapshot has the same version and content as the current one.
+        """
+        with self._lock:
+            return self._compact_locked()

@@ -125,6 +125,49 @@ class TestExplicitDtype:
         )
         assert result.ok
 
+    def test_engine_scope_pins_asarray_and_arange(self, lint):
+        result = lint(
+            {
+                "src/repro/core/engine/plan.py": """
+                import numpy as np
+                def compile_rows(rows, n):
+                    a = np.asarray(rows)
+                    b = np.arange(n)
+                    return a, b
+                """
+            }
+        )
+        assert rules_hit(result) == ["explicit-dtype"]
+        assert len(result.violations) == 2
+
+    def test_engine_scope_with_dtype_is_clean(self, lint):
+        result = lint(
+            {
+                "src/repro/core/engine/plan.py": """
+                import numpy as np
+                def compile_rows(rows, n):
+                    a = np.asarray(rows, dtype=np.int64)
+                    b = np.arange(n, dtype=np.int64)
+                    return a, b
+                """
+            }
+        )
+        assert result.ok
+
+    def test_asarray_outside_engine_is_not_pinned(self, lint):
+        # The stricter constructor set applies to core/engine/ only;
+        # plain core/ keeps the original zeros/ones/empty/full set.
+        result = lint(
+            {
+                "src/repro/core/updater.py": """
+                import numpy as np
+                def coerce(rows):
+                    return np.asarray(rows)
+                """
+            }
+        )
+        assert result.ok
+
 
 # ----------------------------------------------------------- autograd-backward
 
@@ -264,6 +307,70 @@ class TestInplaceMutation:
                 "src/repro/core/update.py": """
                 def step(p, lr, grad):
                     p.data -= lr * grad  # reprolint: disable=inplace-mutation
+                """
+            }
+        )
+        assert result.ok
+
+    def test_engine_attribute_subscript_write_fires(self, lint):
+        result = lint(
+            {
+                "src/repro/core/engine/engine.py": """
+                def scatter(memory, rows, grads):
+                    memory.long[rows] += grads
+                """
+            }
+        )
+        assert rules_hit(result) == ["inplace-mutation"]
+        assert "SparseAdam.update_rows" in result.violations[0].message
+
+    def test_engine_attribute_subscript_assign_fires(self, lint):
+        result = lint(
+            {
+                "src/repro/core/engine/engine.py": """
+                def overwrite(memory, slot, u, value):
+                    memory.context[slot, u] = value
+                """
+            }
+        )
+        assert rules_hit(result) == ["inplace-mutation"]
+
+    def test_engine_tuple_target_fires(self, lint):
+        result = lint(
+            {
+                "src/repro/core/engine/plan.py": """
+                def unpack(memory, row, pair):
+                    memory.alpha[row], rest = pair
+                """
+            }
+        )
+        assert rules_hit(result) == ["inplace-mutation"]
+
+    def test_engine_local_array_write_is_clean(self, lint):
+        # Scatter into locally-allocated plan/gradient buffers is the
+        # engine's bread and butter — only attribute-held state fires.
+        result = lint(
+            {
+                "src/repro/core/engine/kernels.py": """
+                import numpy as np
+                def accumulate(rows, grads, n, dim):
+                    out = np.zeros((n, dim), dtype=np.float64)
+                    out[rows] = grads
+                    out[rows] += grads
+                    return out
+                """
+            }
+        )
+        assert result.ok
+
+    def test_attribute_subscript_outside_engine_is_clean(self, lint):
+        # The memory-write guard is scoped to core/engine/ only; the
+        # optimizer itself legitimately writes attribute-held arrays.
+        result = lint(
+            {
+                "src/repro/core/memory.py": """
+                def update_rows(self, rows, grads):
+                    self.values[rows] -= grads
                 """
             }
         )

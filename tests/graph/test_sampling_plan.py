@@ -1,0 +1,109 @@
+"""The plan sampler's RNG-order contract and the neighbour cache.
+
+``sample_walk_plan`` / ``sample_walks_into`` feed the batched engine;
+their draws must track :func:`sample_influenced_graph_compiled` exactly
+(with or without a :class:`NeighborCandidateCache`), and the cache must
+drop itself the instant the graph mutates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.dmhg import DMHG
+from repro.graph.sampling import (
+    CompiledMetapathSet,
+    NeighborCandidateCache,
+    sample_influenced_graph_compiled,
+    sample_walk_plan,
+)
+
+
+@pytest.fixture
+def compiled(small_graph, metapath):
+    return CompiledMetapathSet([metapath], small_graph.schema)
+
+
+def _plan(small_graph, compiled, seed, cache=None):
+    rng = np.random.default_rng(seed)
+    plan = sample_walk_plan(
+        small_graph, 0, 5, compiled, num_walks=4, walk_length=4, rng=rng,
+        cache=cache,
+    )
+    return plan, rng
+
+
+class TestPlanSampler:
+    def test_matches_object_sampler_draw_for_draw(self, small_graph, compiled):
+        """Same seed → same hops in the same order as the legacy object
+        sampler, and the exact same number of RNG draws consumed."""
+        plan, plan_rng = _plan(small_graph, compiled, seed=5)
+        obj_rng = np.random.default_rng(5)
+        influenced = sample_influenced_graph_compiled(
+            small_graph, 0, 5, 0, 9.0, compiled,
+            num_walks=4, walk_length=4, rng=obj_rng,
+        )
+        walks = [(0, w) for w in influenced.walks_u] + [
+            (1, w) for w in influenced.walks_v
+        ]
+        assert plan.sides.tolist() == [side for side, _ in walks]
+        flat_nodes, flat_rels, flat_times, offsets = [], [], [], [0]
+        for _, walk in walks:
+            for step in walk.hops():
+                flat_nodes.append(step.node)
+                flat_rels.append(step.rel)
+                flat_times.append(step.t)
+            offsets.append(len(flat_nodes))
+        assert plan.nodes.tolist() == flat_nodes
+        assert plan.rels.tolist() == flat_rels
+        assert plan.times.tolist() == flat_times
+        assert plan.offsets.tolist() == offsets
+        assert plan_rng.bit_generator.state == obj_rng.bit_generator.state
+
+    def test_cached_and_uncached_draws_agree(self, small_graph, compiled):
+        cache = NeighborCandidateCache(small_graph)
+        bare, bare_rng = _plan(small_graph, compiled, seed=9)
+        cached, cached_rng = _plan(small_graph, compiled, seed=9, cache=cache)
+        for a, b in zip(bare, cached):
+            assert a.tobytes() == b.tobytes()
+        assert bare_rng.bit_generator.state == cached_rng.bit_generator.state
+
+    def test_empty_graph_yields_empty_plan(self, schema, compiled):
+        g = DMHG(schema)
+        g.add_nodes("user", 1)
+        g.add_nodes("video", 1)
+        plan = sample_walk_plan(
+            g, 0, 1, compiled, num_walks=3, walk_length=4,
+            rng=np.random.default_rng(0), cache=None,
+        )
+        assert plan.nodes.size == 0
+        assert plan.offsets.tolist() == [0]
+        assert plan.sides.size == 0
+
+
+class TestNeighborCandidateCache:
+    def test_repeat_queries_hit(self, small_graph, compiled):
+        cache = NeighborCandidateCache(small_graph)
+        _plan(small_graph, compiled, seed=1, cache=cache)
+        misses_after_first = cache.misses
+        _plan(small_graph, compiled, seed=1, cache=cache)
+        assert cache.misses == misses_after_first  # all repeats served
+        assert cache.hits > 0
+
+    def test_mutation_invalidates(self, small_graph, compiled):
+        cache = NeighborCandidateCache(small_graph)
+        _plan(small_graph, compiled, seed=1, cache=cache)
+        small_graph.add_edge(0, 9, "click", 10.0)
+        # Post-mutation, cached answers must match a fresh uncached run.
+        stale, stale_rng = _plan(small_graph, compiled, seed=2, cache=cache)
+        fresh, fresh_rng = _plan(small_graph, compiled, seed=2)
+        for a, b in zip(stale, fresh):
+            assert a.tobytes() == b.tobytes()
+        assert stale_rng.bit_generator.state == fresh_rng.bit_generator.state
+
+    def test_candidates_reflect_new_edge(self, small_graph, compiled):
+        cache = NeighborCandidateCache(small_graph)
+        rel_ids = frozenset(range(len(small_graph.schema.edge_types)))
+        before = cache.candidates(0, rel_ids, None)[0].tolist()
+        small_graph.add_edge(0, 9, "click", 10.0)
+        after = cache.candidates(0, rel_ids, None)[0].tolist()
+        assert after == before + [9]

@@ -148,3 +148,98 @@ class TestInvalidation:
         new = store.publish([1], np.zeros((1, 8), dtype=np.float64))
         # node 1 is a user, not in the candidate catalogue
         assert index.invalidate(new, touched_users=(), touched_items={1}) == 0
+
+
+class TestEviction:
+    def test_ttl_expires_lazily_on_access(self):
+        clock = [0.0]
+        store, index, matrix, items = make_world(
+            ttl_seconds=10.0, clock=lambda: clock[0]
+        )
+        snap = store.snapshot()
+        first = index.top_k(snap, 0, 5)
+        clock[0] = 5.0
+        index.top_k(snap, 0, 5)
+        assert index.hits == 1 and index.evictions == 0
+        clock[0] = 10.5  # strictly past the TTL
+        got = index.top_k(snap, 0, 5)
+        np.testing.assert_array_equal(got, first)
+        assert index.evictions == 1
+        assert index.misses == 2  # initial fill + post-expiry recompute
+
+    def test_evict_expired_bulk(self):
+        clock = [0.0]
+        store, index, _, _ = make_world(ttl_seconds=1.0, clock=lambda: clock[0])
+        snap = store.snapshot()
+        for user in range(4):
+            index.top_k(snap, user, 3)
+        clock[0] = 0.5
+        index.top_k(snap, 0, 7)  # younger entry
+        clock[0] = 1.2
+        assert index.evict_expired() == 4
+        assert index.cached_keys() == ((0, 7),)
+        assert index.evictions == 4
+
+    def test_evict_expired_noop_without_ttl(self):
+        store, index, _, _ = make_world()
+        index.top_k(store.snapshot(), 0, 5)
+        assert index.evict_expired() == 0
+        assert index.evictions == 0
+
+    def test_max_bytes_evicts_oldest_first(self):
+        # each answer is 5 int64 ids = 40 bytes; cap fits two answers
+        store, index, _, _ = make_world(max_bytes=80)
+        snap = store.snapshot()
+        for user in range(3):
+            index.top_k(snap, user, 5)
+        assert index.evictions == 1
+        assert index.cached_keys() == ((1, 5), (2, 5))
+        assert index.cache_bytes == 80
+
+    def test_oversized_single_answer_not_cached(self):
+        store, index, _, _ = make_world(max_bytes=8)
+        index.top_k(store.snapshot(), 0, 5)  # 40 bytes > cap
+        assert index.cached_keys() == ()
+        assert index.cache_bytes == 0
+        assert index.evictions == 1
+
+    def test_lru_count_eviction_counts_as_eviction(self):
+        store, index, _, _ = make_world(cache_size=2)
+        snap = store.snapshot()
+        for user in range(3):
+            index.top_k(snap, user, 5)
+        assert index.evictions == 1
+        assert index.cached_keys() == ((1, 5), (2, 5))
+
+    def test_bytes_accounting_through_invalidation(self):
+        store, index, _, items = make_world(max_bytes=10_000)
+        snap = store.snapshot()
+        for user in range(4):
+            index.top_k(snap, user, 5)
+        assert index.cache_bytes == 4 * 40
+        new = store.publish([0], np.zeros((1, 8), dtype=np.float64))
+        dropped = index.invalidate(new, touched_users={0}, touched_items=())
+        assert dropped == 1
+        assert index.cache_bytes == 3 * 40
+        # invalidations are not evictions
+        assert index.evictions == 0 and index.invalidations == 1
+
+    def test_survivors_keep_creation_time(self):
+        clock = [0.0]
+        store, index, _, _ = make_world(ttl_seconds=2.0, clock=lambda: clock[0])
+        snap = store.snapshot()
+        index.top_k(snap, 0, 5)
+        clock[0] = 1.5
+        new = store.publish([1], np.zeros((1, 8), dtype=np.float64))
+        index.invalidate(new, touched_users=(), touched_items=())
+        entry = index.cache_entry(0, 5)
+        assert entry is not None and entry.created_at == 0.0
+        clock[0] = 2.5  # past TTL measured from creation, not re-stamp
+        index.top_k(new, 0, 5)
+        assert index.evictions == 1
+
+    def test_ttl_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_world(ttl_seconds=0.0)
+        with pytest.raises(ValueError):
+            make_world(max_bytes=-1)
