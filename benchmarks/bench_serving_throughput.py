@@ -9,7 +9,9 @@ answering from a staler snapshot.
 Every sweep point must keep **exact parity**: after ``flush()`` the
 served top-K of every checked user equals the offline ranking pipeline.
 The full reports are persisted to
-``benchmarks/results/serving_throughput.json``.
+``benchmarks/results/serving_throughput.json`` together with one
+telemetry snapshot per dataset (``repro.obs`` span tree + metrics from
+a **separate traced replay**) — the timed sweeps always run untraced.
 """
 
 from __future__ import annotations
@@ -30,23 +32,27 @@ K = 10
 JSON_PATH = os.path.join(RESULTS_DIR, "serving_throughput.json")
 
 
+def _make_driver(dataset, batch_size: int, trace: bool = False) -> StreamReplayDriver:
+    return StreamReplayDriver(
+        dataset,
+        k=K,
+        serve_config=ServeConfig(
+            batch_size=batch_size, capacity=max(2048, 4 * batch_size)
+        ),
+        model_config=SUPAConfig(dim=32, num_walks=2, walk_length=2, seed=0),
+        probe_every=max(16, batch_size // 4),
+        max_parity_users=64,
+        trace=trace,
+    )
+
+
 def run_serving_throughput() -> List[List[object]]:
     rows: List[List[object]] = []
     reports: Dict[str, Dict[str, object]] = {}
     for name in DATASETS:
         dataset = load_dataset(name, scale=min(BENCH_SCALE, 0.25))
         for batch_size in BATCH_SIZES:
-            driver = StreamReplayDriver(
-                dataset,
-                k=K,
-                serve_config=ServeConfig(
-                    batch_size=batch_size, capacity=max(2048, 4 * batch_size)
-                ),
-                model_config=SUPAConfig(dim=32, num_walks=2, walk_length=2, seed=0),
-                probe_every=max(16, batch_size // 4),
-                max_parity_users=64,
-            )
-            report = driver.run()
+            report = _make_driver(dataset, batch_size).run()
             reports[f"{name}/S={batch_size}"] = report.as_dict()
             rows.append(
                 [
@@ -60,6 +66,10 @@ def run_serving_throughput() -> List[List[object]]:
                     report.parity_fraction,
                 ]
             )
+        # Telemetry snapshot: one extra replay per dataset with tracing
+        # on — never the replays the throughput rows were timed over.
+        traced = _make_driver(dataset, BATCH_SIZES[-1], trace=True).run()
+        reports[f"{name}/telemetry"] = traced.as_dict()
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(JSON_PATH, "w", encoding="utf-8") as fh:
         json.dump(reports, fh, indent=2, sort_keys=True)

@@ -9,7 +9,10 @@ RNG sequences and the warm-up losses must agree **bitwise** — a speedup
 over a different computation would be meaningless.
 
 The gate: the geometric-mean speedup across the zoo must be >= 3x.
-Results are persisted to ``benchmarks/results/train_throughput.json``.
+Results are persisted to ``benchmarks/results/train_throughput.json``
+together with a per-dataset telemetry snapshot (``repro.obs`` span tree
+plus engine counters) collected in a **separate traced pass** — the
+timed sweeps themselves always run untraced.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ def run_train_throughput() -> dict:
         scale=1.0,
         warm_history=WARM_HISTORY,
         batch_size=S_BATCH,
+        telemetry=True,
     )
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(JSON_PATH, "w", encoding="utf-8") as fh:
@@ -70,4 +74,7 @@ def test_train_throughput(benchmark):
     # the batched engine must hold its speedup in the steady state
     assert summary["geomean_speedup"] >= MIN_GEOMEAN_SPEEDUP
     assert os.path.exists(JSON_PATH)
+    # the telemetry snapshot (traced pass, never timed) rode along
+    assert len(summary["telemetry"]) == len(summary["datasets"])
+    assert all(t["trace"]["spans"] for t in summary["telemetry"])
     benchmark.extra_info["geomean_speedup"] = summary["geomean_speedup"]

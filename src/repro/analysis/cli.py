@@ -12,7 +12,12 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.core import get_rules, run_lint
-from repro.analysis.reporters import render_json, render_text, write_json
+from repro.analysis.reporters import (
+    emit_error,
+    emit_report,
+    emit_rule_list,
+    write_json,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,19 +83,18 @@ def run(
             ignore=ignore,
         )
     except (FileNotFoundError, KeyError, ValueError) as exc:
-        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        emit_error(str(exc))
         return 2
     if output:
         write_json(result, output)
-    print(render_json(result) if fmt == "json" else render_text(result))
+    emit_report(result, fmt)
     return 0 if result.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
-        for rule in get_rules():
-            print(f"{rule.id}: {rule.description}")
+        emit_rule_list(get_rules())
         return 0
     return run(
         args.paths,

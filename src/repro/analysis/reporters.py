@@ -7,8 +7,9 @@ track violation counts across PRs (``benchmarks/results/lint_report.json``).
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Iterable, Union
 
 from repro.analysis.core import LintResult
 
@@ -69,3 +70,25 @@ def write_json(result: LintResult, path: Union[str, Path]) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(render_json(result), encoding="utf-8")
     return path
+
+
+# --------------------------------------------------------------------- output
+# The emit helpers below are the lint driver's one sanctioned stdout /
+# stderr surface (this module and cli.py are the only places repro code
+# may print — enforced by the metrics-discipline rule).
+
+
+def emit_report(result: LintResult, fmt: str = "text") -> None:
+    """Print the rendered report to stdout."""
+    print(render_json(result) if fmt == "json" else render_text(result))
+
+
+def emit_error(message: str) -> None:
+    """Print a driver error to stderr."""
+    print(f"repro-lint: error: {message}", file=sys.stderr)
+
+
+def emit_rule_list(rules: Iterable) -> None:
+    """Print ``id: description`` for each rule."""
+    for rule in rules:
+        print(f"{rule.id}: {rule.description}")

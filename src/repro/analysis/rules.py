@@ -1,28 +1,35 @@
-"""The reprolint rule set: six checks for this codebase's real hazards.
+"""The reprolint rule set: seven checks for this codebase's real hazards.
 
-================  ==========================================================
-rule id           guards against
-================  ==========================================================
-rng-discipline    unseedable randomness (``np.random.*`` / stdlib ``random``
-                  outside ``utils/rng.py``)
-explicit-dtype    silent float64/float32 drift from dtype-less array
-                  constructors in ``core/``, ``autograd/`` and ``serve/``;
-                  ``core/engine/`` additionally pins ``np.asarray`` and
-                  ``np.arange`` (plan arrays cross the bitwise-parity
-                  gate as raw bytes)
-autograd-backward a differentiable op whose forward is taped via
-                  ``Tensor._make`` without a wired ``backward`` closure
-inplace-mutation  augmented assignment on a tensor's backing ``.data``
-                  array outside ``no_grad()`` — corrupts saved
-                  activations; in ``core/engine/`` also any subscript
-                  write to an attribute-held array (kernels must return
-                  gradients and route memory writes through the
-                  optimizer, never scatter into shared state)
-baseline-registry a ``baselines/`` module missing from ``registry.py`` or
-                  without a ``tests/baselines/test_<module>.py`` file
-public-api        ``repro.__all__`` names that do not resolve or lack
-                  docstrings
-================  ==========================================================
+==================  ========================================================
+rule id             guards against
+==================  ========================================================
+rng-discipline      unseedable randomness (``np.random.*`` / stdlib
+                    ``random`` outside ``utils/rng.py``)
+explicit-dtype      silent float64/float32 drift from dtype-less array
+                    constructors in ``core/``, ``autograd/`` and
+                    ``serve/``; ``core/engine/`` additionally pins
+                    ``np.asarray`` and ``np.arange`` (plan arrays cross
+                    the bitwise-parity gate as raw bytes)
+autograd-backward   a differentiable op whose forward is taped via
+                    ``Tensor._make`` without a wired ``backward`` closure
+inplace-mutation    augmented assignment on a tensor's backing ``.data``
+                    array outside ``no_grad()`` — corrupts saved
+                    activations; in ``core/engine/`` also any subscript
+                    write to an attribute-held array (kernels must return
+                    gradients and route memory writes through the
+                    optimizer, never scatter into shared state)
+baseline-registry   a ``baselines/`` module missing from ``registry.py``
+                    or without a ``tests/baselines/test_<module>.py`` file
+public-api          ``repro.__all__`` names that do not resolve or lack
+                    docstrings
+metrics-discipline  ad-hoc telemetry: ``print()`` in library code
+                    (allowed only in ``cli.py`` and
+                    ``analysis/reporters.py``) and raw ``time.time()`` /
+                    ``time.perf_counter()`` outside ``utils/timer.py`` /
+                    ``obs/`` — timings must flow through the Timer /
+                    span / metrics APIs so they land in the shared
+                    registry
+==================  ========================================================
 
 Every rule honours ``# reprolint: disable=<id>`` on the reported line
 and ``# reprolint: disable-file=<id>`` anywhere in the reported file.
@@ -447,6 +454,74 @@ class BaselineRegistryRule(Rule):
                     if isinstance(v, ast.Name) and v.id in name_to_module:
                         registered.add(name_to_module[v.id].split(".")[-1])
         return registered
+
+
+# --------------------------------------------------------- metrics-discipline
+
+
+@register_rule
+class MetricsDisciplineRule(Rule):
+    """Telemetry flows through the obs APIs, not prints and raw clocks."""
+
+    id = "metrics-discipline"
+    description = (
+        "no print() in library code (only cli.py and analysis/reporters.py "
+        "may print) and no raw time.time()/time.perf_counter() outside "
+        "utils/timer.py and obs/ — report through Timer, tracer spans and "
+        "the shared MetricsRegistry instead"
+    )
+
+    #: the only modules that own stdout
+    PRINT_EXEMPT = ("cli.py", "analysis/reporters.py")
+    #: the clock primitives wrapped by Timer / tracer spans
+    CLOCK_CALLS = (
+        "time.time",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+    )
+    #: the modules allowed to touch the clock primitives directly
+    CLOCK_EXEMPT_FILES = ("utils/timer.py",)
+    CLOCK_EXEMPT_PREFIXES = ("obs/",)
+
+    def check_file(self, sf: SourceFile) -> Iterator[Violation]:
+        rel = sf.package_rel
+        check_print = rel not in self.PRINT_EXEMPT
+        check_clock = rel not in self.CLOCK_EXEMPT_FILES and not rel.startswith(
+            self.CLOCK_EXEMPT_PREFIXES
+        )
+        if not (check_print or check_clock):
+            return
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            if check_print and dotted == "print":
+                yield Violation(
+                    path=sf.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        "print() in library code; emit through "
+                        "analysis/reporters.py helpers or return data for "
+                        "cli.py to render"
+                    ),
+                )
+            elif check_clock and dotted in self.CLOCK_CALLS:
+                yield Violation(
+                    path=sf.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        f"raw {dotted}() call; time through "
+                        "repro.utils.timer.Timer or a repro.obs tracer span "
+                        "so the measurement reaches the shared telemetry"
+                    ),
+                )
 
 
 # ----------------------------------------------------------------- public-api

@@ -18,6 +18,9 @@ Commands:
   and optionally enforce a minimum speedup.
 * ``lint`` — run the reprolint static-analysis suite over the source
   tree (see :mod:`repro.analysis`).
+* ``obs`` — run a short traced replay and print the observability
+  story: span tree, flame table, metrics snapshot, plus Prometheus-text
+  and JSONL exports (see :mod:`repro.obs`).
 
 Every command is deterministic for a fixed ``--seed``.
 """
@@ -169,8 +172,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_serve_replay(args: argparse.Namespace) -> int:
+    from repro.obs import format_span_tree
     from repro.serve import ServeConfig, StreamReplayDriver
 
+    trace = bool(getattr(args, "trace", False))
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     driver = StreamReplayDriver(
         dataset,
@@ -184,8 +189,10 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
         probe_every=args.probe_every,
         max_parity_users=args.max_parity_users,
         seed=args.seed,
+        trace=trace,
     )
-    report = driver.run()
+    service = driver.build_service()
+    report = driver.run(service)
     print(
         format_table(
             ["metric", "value"],
@@ -193,6 +200,9 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
             title=f"serve-replay: {args.dataset} (scale={args.scale}, k={args.k})",
         )
     )
+    if trace:
+        print()
+        print(format_span_tree(service.tracer))
     if args.output:
         print(f"wrote {report.write_json(args.output)}")
     if report.parity_fraction < args.min_parity:
@@ -201,6 +211,67 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
             f"--min-parity {args.min_parity}"
         )
         return 1
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Run a short traced replay and print the full telemetry story."""
+    from repro.obs import (
+        format_flame_table,
+        format_span_tree,
+        to_prometheus_text,
+        write_jsonl_snapshot,
+    )
+    from repro.serve import ServeConfig, StreamReplayDriver
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    driver = StreamReplayDriver(
+        dataset,
+        k=args.k,
+        serve_config=ServeConfig(batch_size=args.batch_size),
+        model_config=SUPAConfig(
+            dim=args.dim, num_walks=2, walk_length=2, seed=args.seed
+        ),
+        probe_every=args.probe_every,
+        max_parity_users=args.max_parity_users,
+        seed=args.seed,
+        trace=True,
+    )
+    service = driver.build_service()
+    report = driver.run(service)
+    tracer = service.tracer
+
+    print(
+        format_table(
+            ["metric", "value"],
+            report.summary_rows(),
+            title=f"obs: traced replay of {args.dataset} (scale={args.scale})",
+        )
+    )
+    print()
+    print("span tree (layer.component.phase):")
+    print(format_span_tree(tracer))
+    print()
+    print(format_flame_table(tracer))
+    print()
+    print("metrics snapshot:")
+    print(service.metrics.to_json())
+
+    if args.output_dir:
+        os.makedirs(args.output_dir, exist_ok=True)
+        prom_path = os.path.join(args.output_dir, "obs_metrics.prom")
+        with open(prom_path, "w", encoding="utf-8") as fh:
+            fh.write(to_prometheus_text(service.metrics))
+        jsonl_path = os.path.join(args.output_dir, "obs_telemetry.jsonl")
+        write_jsonl_snapshot(
+            jsonl_path,
+            metrics=service.metrics,
+            trace=tracer,
+            label=f"obs:{args.dataset}:scale={args.scale}:seed={args.seed}",
+        )
+        print()
+        print(f"wrote {prom_path}")
+        print(f"wrote {jsonl_path}")
     return 0
 
 
@@ -332,7 +403,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=os.path.join("benchmarks", "results", "serving_throughput.json"),
         help="JSON report path ('' to skip writing)",
     )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="record repro.obs spans and print the span tree",
+    )
     p.set_defaults(func=cmd_serve_replay)
+
+    p = sub.add_parser(
+        "obs",
+        help="run a short traced replay; print span tree + metrics, "
+        "export Prometheus text and a JSONL snapshot",
+    )
+    p.add_argument(
+        "--dataset", default="uci", choices=sorted(DATASET_BUILDERS)
+    )
+    p.add_argument("--scale", type=float, default=0.2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--batch-size", type=int, default=256)
+    p.add_argument("--probe-every", type=int, default=64)
+    p.add_argument("--max-parity-users", type=int, default=50)
+    p.add_argument(
+        "--output-dir",
+        default=os.path.join("benchmarks", "results"),
+        help="directory for the .prom / .jsonl exports ('' to skip)",
+    )
+    p.set_defaults(func=cmd_obs)
 
     p = sub.add_parser(
         "bench-train",

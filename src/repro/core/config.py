@@ -95,6 +95,12 @@ class SUPAConfig:
     #: object path kept as the correctness oracle.  Both produce
     #: bitwise-identical results (``tests/core/test_engine_parity.py``).
     engine: str = "batched"
+    #: Record ``repro.obs`` spans while training.  Off by default: the
+    #: no-op tracer keeps instrumented hot paths free (DESIGN §10's
+    #: overhead budget); flip on for per-phase wall-time attribution.
+    #: Tracing never touches model RNG, so results are bitwise identical
+    #: either way.
+    trace: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:

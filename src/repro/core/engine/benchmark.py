@@ -21,13 +21,13 @@ doubles as a parity check: the warm-up losses must match bitwise.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.config import SUPAConfig
 from repro.core.engine.engine import ENGINE_NAMES
+from repro.utils.timer import Timer
 
 #: The default synthetic-zoo measurement set.
 DEFAULT_DATASETS = ("movielens", "taobao", "kuaishou", "lastfm")
@@ -75,12 +75,12 @@ def measure_engine(
     records = _steady_state_records(model, dataset, warm_history, batch_size)
     warmup_losses = model.train_batch(records)
     rates: List[float] = []
+    timer = Timer()
     for _ in range(repeats):
-        start = time.perf_counter()
-        for _ in range(passes):
-            model.train_batch(records)
-        elapsed = time.perf_counter() - start
-        rates.append(passes * len(records) / elapsed)
+        with timer:
+            for _ in range(passes):
+                model.train_batch(records)
+        rates.append(passes * len(records) / timer.laps[-1])
     return {
         "edges_per_second": float(np.median(rates)),
         "warmup_losses": warmup_losses,
@@ -138,28 +138,79 @@ def measure_train_throughput(
     }
 
 
+def collect_train_telemetry(
+    dataset,
+    warm_history: int = 16384,
+    batch_size: int = 1024,
+    passes: int = 2,
+    seed: int = 7,
+    config: Optional[SUPAConfig] = None,
+) -> Dict[str, object]:
+    """Span tree + engine counters from one traced batched replay.
+
+    Runs *outside* the timed sweeps above: the throughput numbers stay
+    untraced while the telemetry pass answers "where does the time go"
+    (compile vs execute, per-kernel self-times) and "what did the plan
+    contain" (edges, walk steps, negatives, cache hit rate).
+    """
+    from repro.core.model import SUPA
+
+    cfg = (config or SUPAConfig(seed=seed)).with_overrides(
+        engine="batched", trace=True
+    )
+    model = SUPA.for_dataset(dataset, config=cfg)
+    records = _steady_state_records(model, dataset, warm_history, batch_size)
+    for _ in range(passes):
+        model.train_batch(records)
+    return {
+        "dataset": dataset.name,
+        "trace": model.tracer.as_dict(),
+        "metrics": model.tracer.registry.as_dict(),
+    }
+
+
 def measure_zoo(
     dataset_names: Sequence[str] = DEFAULT_DATASETS,
     scale: float = 1.0,
     dataset_seed: int = 3,
+    telemetry: bool = False,
     **kwargs,
 ) -> Dict[str, object]:
     """Run :func:`measure_train_throughput` over the synthetic zoo.
 
     Returns per-dataset results plus the geometric-mean speedup (the
-    aggregate the throughput gate is defined over).
+    aggregate the throughput gate is defined over).  With ``telemetry``
+    on, each dataset additionally gets one separate traced batched pass
+    (:func:`collect_train_telemetry`) whose span tree and counters ride
+    along under ``"telemetry"`` — the timed sweeps themselves are never
+    traced.
     """
     from repro.datasets import load_dataset
 
     per_dataset = []
+    per_dataset_telemetry = []
     for name in dataset_names:
         dataset = load_dataset(name, scale=scale, seed=dataset_seed)
         per_dataset.append(measure_train_throughput(dataset, **kwargs))
+        if telemetry:
+            per_dataset_telemetry.append(
+                collect_train_telemetry(
+                    dataset,
+                    warm_history=kwargs.get("warm_history", 16384),
+                    batch_size=kwargs.get("batch_size", 1024),
+                    passes=kwargs.get("passes", 2),
+                    seed=kwargs.get("seed", 7),
+                    config=kwargs.get("config"),
+                )
+            )
     speedups = np.asarray([r["speedup"] for r in per_dataset], dtype=np.float64)
-    return {
+    summary: Dict[str, object] = {
         "datasets": per_dataset,
         "geomean_speedup": float(np.exp(np.mean(np.log(speedups)))),
         "min_speedup": float(speedups.min()),
         "scale": float(scale),
         "dataset_seed": int(dataset_seed),
     }
+    if telemetry:
+        summary["telemetry"] = per_dataset_telemetry
+    return summary

@@ -36,6 +36,7 @@ from repro.core.propagation import propagation_loss, propagation_loss_backward
 from repro.core.updater import target_embedding, target_embedding_backward
 from repro.graph.sampling import NeighborCandidateCache, sample_influenced_graph_compiled
 from repro.graph.streams import StreamEdge
+from repro.obs.trace import NULL_TRACER
 
 _Record = Tuple[StreamEdge, float, float]
 
@@ -75,13 +76,11 @@ class ReferenceEngine(_EngineBase):
     ) -> float:
         model = self.model
         cfg = model.config
+        tracer = model.tracer
         memory = model.memory
         node_type_ids = model._node_type_ids
         rel = model.schema.edge_type_id(edge_type)
         slot = memory.context_slot(rel)
-
-        fwd_u = target_embedding(memory, u, node_type_ids[u], delta_u, cfg)
-        fwd_v = target_embedding(memory, v, node_type_ids[v], delta_v, cfg)
 
         grad_h_star_u = np.zeros(cfg.dim, dtype=np.float64)
         grad_h_star_v = np.zeros(cfg.dim, dtype=np.float64)
@@ -94,85 +93,96 @@ class ReferenceEngine(_EngineBase):
             else:
                 context_grads[row] = grad
 
-        # --- interaction loss (Eq. 7) -----------------------------------
-        if cfg.use_inter:
-            c_u = memory.context[slot, u]
-            c_v = memory.context[slot, v]
-            inter = interaction_loss(fwd_u.h_star, c_u, fwd_v.h_star, c_v)
-            g_hu, g_cu, g_hv, g_cv = interaction_loss_backward(inter)
-            grad_h_star_u += g_hu
-            grad_h_star_v += g_hv
-            add_context_grad(model.optimizer.context_row(slot, u), g_cu)
-            add_context_grad(model.optimizer.context_row(slot, v), g_cv)
-            components["inter"] = inter.loss
+        # --- target update + interaction loss (Eq. 5, Eq. 7) -------------
+        with tracer.span("core.engine.update"):
+            fwd_u = target_embedding(memory, u, node_type_ids[u], delta_u, cfg)
+            fwd_v = target_embedding(memory, v, node_type_ids[v], delta_v, cfg)
+            if cfg.use_inter:
+                c_u = memory.context[slot, u]
+                c_v = memory.context[slot, v]
+                inter = interaction_loss(fwd_u.h_star, c_u, fwd_v.h_star, c_v)
+                g_hu, g_cu, g_hv, g_cv = interaction_loss_backward(inter)
+                grad_h_star_u += g_hu
+                grad_h_star_v += g_hv
+                add_context_grad(model.optimizer.context_row(slot, u), g_cu)
+                add_context_grad(model.optimizer.context_row(slot, v), g_cv)
+                components["inter"] = inter.loss
 
         # --- propagation loss (Eq. 10) ----------------------------------
         if cfg.use_prop and cfg.num_walks > 0:
-            influenced = sample_influenced_graph_compiled(
-                model.graph,
-                u,
-                v,
-                rel,
-                t,
-                model._compiled_metapaths,
-                num_walks=cfg.num_walks,
-                walk_length=cfg.walk_length,
-                rng=model.rng,
-            )
-            prop = propagation_loss(
-                memory, influenced, fwd_u.h_star, fwd_v.h_star, t, cfg
-            )
-            if prop.steps:
-                g_u, g_v, ctx = propagation_loss_backward(
-                    memory, prop, fwd_u.h_star, fwd_v.h_star
+            with tracer.span("core.engine.sample"):
+                influenced = sample_influenced_graph_compiled(
+                    model.graph,
+                    u,
+                    v,
+                    rel,
+                    t,
+                    model._compiled_metapaths,
+                    num_walks=cfg.num_walks,
+                    walk_length=cfg.walk_length,
+                    rng=model.rng,
                 )
-                grad_h_star_u += g_u
-                grad_h_star_v += g_v
-                for ctx_slot, node, grad in ctx:
-                    add_context_grad(model.optimizer.context_row(ctx_slot, node), grad)
-            components["prop"] = prop.loss
+            with tracer.span("core.engine.propagate"):
+                prop = propagation_loss(
+                    memory, influenced, fwd_u.h_star, fwd_v.h_star, t, cfg
+                )
+                if prop.steps:
+                    g_u, g_v, ctx = propagation_loss_backward(
+                        memory, prop, fwd_u.h_star, fwd_v.h_star
+                    )
+                    grad_h_star_u += g_u
+                    grad_h_star_v += g_v
+                    for ctx_slot, node, grad in ctx:
+                        add_context_grad(
+                            model.optimizer.context_row(ctx_slot, node), grad
+                        )
+                components["prop"] = prop.loss
 
         # --- negative sampling loss (Eq. 12) -----------------------------
         if cfg.use_neg and cfg.num_negatives > 0:
-            neg_loss = 0.0
-            sides = (
-                (fwd_u, grad_h_star_u, node_type_ids[v]),
-                (fwd_v, grad_h_star_v, node_type_ids[u]),
-            )
-            for fwd, grad_h_star, opposite_type in sides:
-                samples = model.negatives.sample(
-                    int(opposite_type), cfg.num_negatives, model.rng
+            with tracer.span("core.engine.negative"):
+                neg_loss = 0.0
+                sides = (
+                    (fwd_u, grad_h_star_u, node_type_ids[v]),
+                    (fwd_v, grad_h_star_v, node_type_ids[u]),
                 )
-                if samples.size:
-                    side_loss, ctx_grads, grad_h_add = kernels.negative_forward_backward(
-                        memory.context[slot, samples], fwd.h_star
+                for fwd, grad_h_star, opposite_type in sides:
+                    samples = model.negatives.sample(
+                        int(opposite_type), cfg.num_negatives, model.rng
                     )
-                    neg_loss += side_loss
-                    grad_h_star += grad_h_add
-                    for i in range(samples.size):
-                        add_context_grad(
-                            model.optimizer.context_row(slot, int(samples[i])),
-                            ctx_grads[i],
+                    if samples.size:
+                        side_loss, ctx_grads, grad_h_add = (
+                            kernels.negative_forward_backward(
+                                memory.context[slot, samples], fwd.h_star
+                            )
                         )
-            components["neg"] = neg_loss
+                        neg_loss += side_loss
+                        grad_h_star += grad_h_add
+                        for i in range(samples.size):
+                            add_context_grad(
+                                model.optimizer.context_row(slot, int(samples[i])),
+                                ctx_grads[i],
+                            )
+                components["neg"] = neg_loss
 
         # --- backprop through the updater and apply ----------------------
-        long_grads: Dict[int, np.ndarray] = {}
-        short_grads: Dict[int, np.ndarray] = {}
-        alpha_grads: Dict[int, float] = {}
-        for fwd, grad in ((fwd_u, grad_h_star_u), (fwd_v, grad_h_star_v)):
-            g_long, g_short, g_alpha = target_embedding_backward(
-                memory, fwd, grad, cfg
-            )
-            long_grads[fwd.node] = long_grads.get(fwd.node, 0.0) + g_long
-            if g_short is not None:
-                short_grads[fwd.node] = short_grads.get(fwd.node, 0.0) + g_short
-            if g_alpha is not None:
-                alpha_grads[fwd.alpha_slot] = (
-                    alpha_grads.get(fwd.alpha_slot, 0.0) + g_alpha
+        with tracer.span("core.engine.apply"):
+            long_grads: Dict[int, np.ndarray] = {}
+            short_grads: Dict[int, np.ndarray] = {}
+            alpha_grads: Dict[int, float] = {}
+            for fwd, grad in ((fwd_u, grad_h_star_u), (fwd_v, grad_h_star_v)):
+                g_long, g_short, g_alpha = target_embedding_backward(
+                    memory, fwd, grad, cfg
                 )
+                long_grads[fwd.node] = long_grads.get(fwd.node, 0.0) + g_long
+                if g_short is not None:
+                    short_grads[fwd.node] = short_grads.get(fwd.node, 0.0) + g_short
+                if g_alpha is not None:
+                    alpha_grads[fwd.alpha_slot] = (
+                        alpha_grads.get(fwd.alpha_slot, 0.0) + g_alpha
+                    )
 
-        model.optimizer.step(long_grads, short_grads, context_grads, alpha_grads)
+            model.optimizer.step(long_grads, short_grads, context_grads, alpha_grads)
         num_nodes = memory.num_nodes
         touched = set(long_grads)
         touched.update(short_grads)
@@ -210,10 +220,47 @@ class BatchedEngine(_EngineBase):
         return float(self.train_batch((record,))[0])
 
     def train_batch(self, records: Sequence[_Record]) -> np.ndarray:
-        """Compile the micro-batch, then execute edge by edge.
+        """Compile the micro-batch, then execute the plan edge by edge.
 
-        The per-edge body is written inline (rather than as a helper
-        method) with every loop-invariant lookup hoisted to a local:
+        With tracing enabled the two halves get their own spans
+        (``core.engine.compile`` / ``core.engine.execute``), kernel
+        self-times are attributed via wrapped kernels, and plan-size
+        counters land in the tracer's registry; with the default no-op
+        tracer the only extra work is one ``enabled`` check per batch.
+        """
+        model = self.model
+        if not len(records):
+            model.last_touched_nodes = ()
+            return np.empty(0, dtype=np.float64)
+        tracer = model.tracer
+        if not tracer.enabled:
+            plan = compile_plan(model, records, self.candidate_cache)
+            return self._execute_plan(plan)
+        with tracer.span("core.engine.compile", edges=len(records)):
+            plan = compile_plan(model, records, self.candidate_cache)
+        self._record_plan_metrics(plan, tracer.registry)
+        with tracer.span("core.engine.execute", edges=plan.num_edges):
+            return self._execute_plan(plan, tracer)
+
+    def _record_plan_metrics(self, plan, registry) -> None:
+        """Plan-size counters + candidate-cache hit rate (traced runs)."""
+        if registry is None:
+            return
+        registry.counter("engine.plan.edges").inc(plan.num_edges)
+        registry.counter("engine.plan.walk_steps").inc(len(plan.step_rows))
+        registry.counter("engine.plan.negatives").inc(len(plan.neg_rows))
+        registry.counter("engine.plan.ctx_rows").inc(len(plan.ctx_uniq_rows))
+        cache = self.candidate_cache
+        registry.counter("graph.sampling.cache_queries").set(
+            cache.hits + cache.misses
+        )
+        registry.gauge("graph.sampling.cache_hit_rate").set(cache.hit_rate)
+
+    def _execute_plan(self, plan, tracer=NULL_TRACER) -> np.ndarray:
+        """Execute a compiled plan edge by edge.
+
+        The per-edge body is written inline (rather than as per-phase
+        helpers) with every loop-invariant lookup hoisted to a local:
         this loop runs once per streamed edge and the Python overhead of
         attribute chains and method dispatch is a measurable fraction of
         the remaining step cost.  The arithmetic, the optimiser-update
@@ -222,11 +269,6 @@ class BatchedEngine(_EngineBase):
         docstring for why that makes the engines bitwise identical.
         """
         model = self.model
-        if not len(records):
-            model.last_touched_nodes = ()
-            return np.empty(0, dtype=np.float64)
-        plan = compile_plan(model, records, self.candidate_cache)
-
         cfg = model.config
         memory = model.memory
         optimizer = model.optimizer
@@ -243,6 +285,17 @@ class BatchedEngine(_EngineBase):
         propagation_forward_backward = kernels.propagation_forward_backward
         negative_forward_backward = kernels.negative_forward_backward
         accumulate_rows = kernels.accumulate_rows
+        if tracer.enabled:
+            # Attribute kernel self-times; the wrappers only exist on
+            # traced runs, so the untraced loop keeps bare locals.
+            target_forward = tracer.wrap("core.kernels.update", target_forward)
+            target_backward = tracer.wrap("core.kernels.update", target_backward)
+            propagation_forward_backward = tracer.wrap(
+                "core.kernels.propagate", propagation_forward_backward
+            )
+            negative_forward_backward = tracer.wrap(
+                "core.kernels.negative", negative_forward_backward
+            )
         use_inter = cfg.use_inter
         use_prop = cfg.use_prop and cfg.num_walks > 0
         use_neg = cfg.use_neg and cfg.num_negatives > 0

@@ -130,47 +130,50 @@ def compile_plan(
     neg_counts = np.zeros((batch, 2), dtype=np.int64)
     neg_offsets = np.zeros(batch + 1, dtype=np.int64)
 
-    for b, (edge, delta_u, delta_v) in enumerate(records):
-        u, v, t = edge.u, edge.v, edge.t
-        uv[b, 0] = u
-        uv[b, 1] = v
-        deltas[b, 0] = delta_u
-        deltas[b, 1] = delta_v
-        edge_ts[b] = t
-        slot = slot_of.get(edge.edge_type)
-        if slot is None:
-            slot = memory.context_slot(schema.edge_type_id(edge.edge_type))
-            slot_of[edge.edge_type] = slot
-        edge_slots[b] = slot
+    # One span over the whole sequential sampling sweep — the RNG-order
+    # contract forbids reordering it, so the span just prices it.
+    with model.tracer.span("core.plan.sample", edges=batch):
+        for b, (edge, delta_u, delta_v) in enumerate(records):
+            u, v, t = edge.u, edge.v, edge.t
+            uv[b, 0] = u
+            uv[b, 1] = v
+            deltas[b, 0] = delta_u
+            deltas[b, 1] = delta_v
+            edge_ts[b] = t
+            slot = slot_of.get(edge.edge_type)
+            if slot is None:
+                slot = memory.context_slot(schema.edge_type_id(edge.edge_type))
+                slot_of[edge.edge_type] = slot
+            edge_slots[b] = slot
 
-        if sample_walks:
-            hop_counts[b] = sample_walks_into(
-                graph,
-                u,
-                v,
-                compiled_metapaths,
-                num_walks,
-                walk_length,
-                rng,
-                cache,
-                nodes_l,
-                rels_l,
-                times_l,
-                offsets_l,
-                sides_l,
-            )
+            if sample_walks:
+                hop_counts[b] = sample_walks_into(
+                    graph,
+                    u,
+                    v,
+                    compiled_metapaths,
+                    num_walks,
+                    walk_length,
+                    rng,
+                    cache,
+                    nodes_l,
+                    rels_l,
+                    times_l,
+                    offsets_l,
+                    sides_l,
+                )
 
-        neg_offsets[b + 1] = neg_offsets[b]
-        if sample_negatives:
-            # u-side negatives impersonate v's type and vice versa,
-            # drawn u-side first — the reference draw order.
-            for side, opposite in ((0, node_type_ids[v]), (1, node_type_ids[u])):
-                samples = negatives_sample(opposite, num_negatives, rng)
-                if samples.size:
-                    neg_rows.append(slot * num_nodes + samples)
-                    neg_nodes.append(samples)
-                    neg_counts[b, side] = samples.size
-                    neg_offsets[b + 1] += samples.size
+            neg_offsets[b + 1] = neg_offsets[b]
+            if sample_negatives:
+                # u-side negatives impersonate v's type and vice versa,
+                # drawn u-side first — the reference draw order.
+                for side, opposite in ((0, node_type_ids[v]), (1, node_type_ids[u])):
+                    samples = negatives_sample(opposite, num_negatives, rng)
+                    if samples.size:
+                        neg_rows.append(slot * num_nodes + samples)
+                        neg_nodes.append(samples)
+                        neg_counts[b, side] = samples.size
+                        neg_offsets[b + 1] += samples.size
 
     # Eq. 8-9 weighting for the whole batch in one kernel sweep: the
     # cumulative-factor kernel is walk-independent, so running it over

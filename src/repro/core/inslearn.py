@@ -181,43 +181,50 @@ class InsLearnTrainer:
         ``self.last_touched_nodes``) for downstream cache invalidation.
         """
         cfg = self.config
+        tracer = self.model.tracer
         touched: Set[int] = set()
-        train, valid = batch.split_train_valid(cfg.validation_size)
-        records = _record_and_observe(self.model, list(train))
+        with tracer.span("core.inslearn.batch", edges=len(batch)):
+            train, valid = batch.split_train_valid(cfg.validation_size)
+            with tracer.span("core.inslearn.observe", edges=len(train)):
+                records = _record_and_observe(self.model, list(train))
 
-        best_score = 0.0
-        best_state = self.model.state_dict()
-        patience_used = 0
-        losses: List[float] = []
-        iterations_run = 0
+            best_score = 0.0
+            best_state = self.model.state_dict()
+            patience_used = 0
+            losses: List[float] = []
+            iterations_run = 0
 
-        for iteration in range(1, cfg.max_iterations + 1):
-            losses.append(_train_pass(self.model, records, touched))
-            iterations_run = iteration
-            if len(valid) and iteration % cfg.validation_interval == 0:
-                score = validation_mrr(
-                    self.model,
-                    list(valid),
-                    num_candidates=cfg.num_validation_candidates,
-                    rng=self._rng,
-                )
-                if score > best_score:
-                    best_score = score
-                    best_state = self.model.state_dict()
-                    patience_used = 0
-                else:
-                    patience_used += 1
-                    if patience_used > cfg.patience:
-                        break
+            for iteration in range(1, cfg.max_iterations + 1):
+                with tracer.span("core.inslearn.replay", edges=len(records)):
+                    losses.append(_train_pass(self.model, records, touched))
+                iterations_run = iteration
+                if len(valid) and iteration % cfg.validation_interval == 0:
+                    with tracer.span("core.inslearn.validate", edges=len(valid)):
+                        score = validation_mrr(
+                            self.model,
+                            list(valid),
+                            num_candidates=cfg.num_validation_candidates,
+                            rng=self._rng,
+                        )
+                    if score > best_score:
+                        best_score = score
+                        best_state = self.model.state_dict()
+                        patience_used = 0
+                    else:
+                        patience_used += 1
+                        if patience_used > cfg.patience:
+                            break
 
-        if len(valid):
-            # Line 20: carry the best-validated parameters forward.
-            self.model.load_state_dict(best_state)
-        # Validation edges join the graph before the next batch arrives.
-        _record_and_observe(self.model, list(valid))
-        touched.update(e.u for e in batch)
-        touched.update(e.v for e in batch)
-        self.last_touched_nodes = tuple(sorted(touched))
+            with tracer.span("core.inslearn.restore"):
+                if len(valid):
+                    # Line 20: carry the best-validated parameters forward.
+                    self.model.load_state_dict(best_state)
+                # Validation edges join the graph before the next batch
+                # arrives.
+                _record_and_observe(self.model, list(valid))
+            touched.update(e.u for e in batch)
+            touched.update(e.v for e in batch)
+            self.last_touched_nodes = tuple(sorted(touched))
 
         return BatchReport(
             batch_index=batch_index,

@@ -35,6 +35,7 @@ from repro.graph.metapath import MultiplexMetapath
 from repro.graph.sampling import CompiledMetapathSet
 from repro.graph.schema import GraphSchema
 from repro.graph.streams import StreamEdge
+from repro.obs.trace import make_tracer
 from repro.utils.rng import new_rng
 
 
@@ -106,6 +107,11 @@ class SUPA:
         #: when serialised) the serving layer uses for snapshot refresh
         #: and cache invalidation.
         self.last_touched_nodes: Tuple[int, ...] = ()
+        #: observability hook (``repro.obs``): the no-op tracer unless
+        #: ``config.trace`` is set; the serving layer may swap in its own
+        #: recording tracer after construction, so engines read this
+        #: attribute per call rather than caching it.
+        self.tracer = make_tracer(self.config.trace)
         self.engine = make_engine(self.config.engine, self)
 
     @classmethod

@@ -17,7 +17,6 @@ fresh, identically configured model.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -25,6 +24,7 @@ import numpy as np
 
 from repro.eval.ranking import EvaluationResult, RankingEvaluator
 from repro.graph.streams import EdgeStream
+from repro.utils.timer import Timer
 
 if TYPE_CHECKING:  # type-only imports; avoids circular module loading
     from repro.baselines.base import BaselineModel
@@ -77,9 +77,10 @@ class LinkPredictionProtocol:
         if self.include_valid_in_training:
             train = EdgeStream(list(train) + list(valid))
         model = factory(dataset)
-        start = time.perf_counter()
-        model.fit(train)
-        fit_seconds = time.perf_counter() - start
+        fit_timer = Timer()
+        with fit_timer:
+            model.fit(train)
+        fit_seconds = fit_timer.elapsed
         evaluator = RankingEvaluator(
             hit_ks=self.hit_ks,
             ndcg_k=self.ndcg_k,
@@ -129,16 +130,17 @@ class DynamicLinkPredictionProtocol:
         results: List[ProtocolResult] = []
         for i in range(self.num_slices - 1):
             seen.extend(list(slices[i]))
-            start = time.perf_counter()
-            if model.is_dynamic:
-                model.partial_fit(slices[i])
-            else:
-                if self.retrain_factory is not None:
-                    model = self.retrain_factory(dataset, len(seen))
+            fit_timer = Timer()
+            with fit_timer:
+                if model.is_dynamic:
+                    model.partial_fit(slices[i])
                 else:
-                    model = factory(dataset)
-                model.fit(EdgeStream(list(seen)))
-            fit_seconds = time.perf_counter() - start
+                    if self.retrain_factory is not None:
+                        model = self.retrain_factory(dataset, len(seen))
+                    else:
+                        model = factory(dataset)
+                    model.fit(EdgeStream(list(seen)))
+            fit_seconds = fit_timer.elapsed
             evaluation = evaluator.evaluate(
                 model, dataset.ranking_queries(slices[i + 1])
             )
@@ -184,9 +186,10 @@ class NeighborhoodDisturbanceProtocol:
         for eta in self.etas:
             capped = capped_stream(dataset, train, eta)
             model = factory(dataset, eta)
-            start = time.perf_counter()
-            model.fit(capped)
-            fit_seconds = time.perf_counter() - start
+            fit_timer = Timer()
+            with fit_timer:
+                model.fit(capped)
+            fit_seconds = fit_timer.elapsed
             evaluation = evaluator.evaluate(model, queries)
             out[eta] = ProtocolResult(
                 metrics=evaluation.metrics,

@@ -245,6 +245,12 @@ class NeighborCandidateCache:
         self.hits = 0
         self.misses = 0
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries answered from the cache (0.0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
     def sync(self) -> None:
         """Drop every entry if the graph has mutated since the last call.
 

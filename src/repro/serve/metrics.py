@@ -1,160 +1,15 @@
-"""A small process-local metrics registry for the serving layer.
+"""Backwards-compatible re-export of the shared metrics registry.
 
-Three instrument kinds cover everything the service reports:
-
-* :class:`Counter` — monotonically increasing event counts
-  (events ingested, cache hits, ...),
-* :class:`Gauge` — point-in-time values (queue depth, staleness),
-* :class:`Histogram` — latency distributions with p50/p95/p99
-  summaries, timed through :class:`repro.utils.timer.Timer` so the
-  clocking discipline matches the benchmark harnesses.
-
-The registry renders to plain dictionaries / JSON so replay drivers and
-benchmarks can persist a snapshot next to their tables.
+The serving layer's process-local registry grew into the system-wide
+observability spine in :mod:`repro.obs.metrics` — thread-safe
+instruments and a **bounded** histogram (fixed-size reservoir + exact
+streaming moments) instead of the unbounded per-sample list this module
+used to keep.  Existing imports (``from repro.serve.metrics import
+MetricsRegistry``) keep working through this shim.
 """
 
 from __future__ import annotations
 
-import json
-from typing import Dict, Iterator, List, Optional
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
-import numpy as np
-
-from repro.utils.timer import Timer
-
-
-class Counter:
-    """A monotonically increasing counter."""
-
-    def __init__(self, name: str):
-        self.name = name
-        self.value = 0
-
-    def inc(self, amount: int = 1) -> None:
-        """Add ``amount`` (must be non-negative) to the counter."""
-        if amount < 0:
-            raise ValueError(f"counter {self.name!r} cannot decrease by {amount}")
-        self.value += amount
-
-    def as_dict(self) -> Dict[str, object]:
-        return {"type": "counter", "value": self.value}
-
-
-class Gauge:
-    """A point-in-time value that can move in either direction."""
-
-    def __init__(self, name: str):
-        self.name = name
-        self.value = 0.0
-
-    def set(self, value: float) -> None:
-        self.value = float(value)
-
-    def as_dict(self) -> Dict[str, object]:
-        return {"type": "gauge", "value": self.value}
-
-
-class _HistogramTimer(Timer):
-    """A :class:`Timer` whose laps feed a histogram on exit."""
-
-    def __init__(self, histogram: "Histogram"):
-        super().__init__()
-        self._histogram = histogram
-
-    def __exit__(self, *exc_info) -> None:
-        super().__exit__(*exc_info)
-        self._histogram.observe(self.laps[-1])
-
-
-class Histogram:
-    """Sample accumulator summarised as count/mean/p50/p95/p99/max.
-
-    ``observe`` records raw values (the service records seconds);
-    :meth:`time` returns a context manager that records one wall-clock
-    lap per ``with`` block.
-    """
-
-    PERCENTILES = (50.0, 95.0, 99.0)
-
-    def __init__(self, name: str):
-        self.name = name
-        self.samples: List[float] = []
-
-    def observe(self, value: float) -> None:
-        self.samples.append(float(value))
-
-    def time(self) -> Timer:
-        """Context manager: ``with h.time(): ...`` observes the lap."""
-        return _HistogramTimer(self)
-
-    @property
-    def count(self) -> int:
-        return len(self.samples)
-
-    def percentile(self, p: float) -> float:
-        """The ``p``-th percentile of observed samples (0.0 if empty)."""
-        if not self.samples:
-            return 0.0
-        return float(np.percentile(np.asarray(self.samples, dtype=np.float64), p))
-
-    def as_dict(self) -> Dict[str, object]:
-        data = np.asarray(self.samples, dtype=np.float64)
-        summary: Dict[str, object] = {"type": "histogram", "count": int(data.size)}
-        if data.size:
-            summary["mean"] = float(data.mean())
-            summary["max"] = float(data.max())
-            for p in self.PERCENTILES:
-                summary[f"p{p:g}"] = float(np.percentile(data, p))
-        else:
-            summary["mean"] = 0.0
-            summary["max"] = 0.0
-            for p in self.PERCENTILES:
-                summary[f"p{p:g}"] = 0.0
-        return summary
-
-
-class MetricsRegistry:
-    """Get-or-create registry of named instruments.
-
-    Names are unique across kinds: asking for a counter named like an
-    existing gauge is a programming error and raises.
-    """
-
-    def __init__(self) -> None:
-        self._instruments: Dict[str, object] = {}
-
-    def _get(self, name: str, kind: type):
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = kind(name)
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, kind):
-            raise TypeError(
-                f"metric {name!r} already registered as "
-                f"{type(instrument).__name__}, not {kind.__name__}"
-            )
-        return instrument
-
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
-
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
-
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(sorted(self._instruments))
-
-    def as_dict(self) -> Dict[str, Dict[str, object]]:
-        """Every instrument's summary, keyed by name (sorted)."""
-        return {name: self._instruments[name].as_dict() for name in self}
-
-    def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
-        """Serialise the registry; optionally also write it to ``path``."""
-        payload = json.dumps(self.as_dict(), indent=indent, sort_keys=True)
-        if path is not None:
-            with open(path, "w", encoding="utf-8") as fh:
-                fh.write(payload + "\n")
-        return payload
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]

@@ -55,6 +55,9 @@ class ReplayReport:
     parity_matches: int
     parity_fraction: float
     metrics: Dict[str, Dict[str, object]] = field(default_factory=dict, repr=False)
+    #: aggregated span tree (``tracer.as_dict()``) when the replay ran
+    #: with tracing; empty otherwise.
+    trace: Dict[str, object] = field(default_factory=dict, repr=False)
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready payload (full metrics registry included)."""
@@ -83,6 +86,8 @@ class ReplayReport:
             )
         }
         payload["metrics"] = self.metrics
+        if self.trace:
+            payload["trace"] = self.trace
         return payload
 
     def write_json(self, path: str) -> str:
@@ -135,6 +140,10 @@ class StreamReplayDriver:
     max_parity_users:
         Cap on users checked for offline parity (evenly spaced
         subsample); ``None`` checks every user.
+    trace:
+        Record ``repro.obs`` spans during the replay; the span tree
+        lands on ``ReplayReport.trace`` (and the service's tracer stays
+        reachable as ``service.tracer`` for text rendering).
     """
 
     def __init__(
@@ -148,9 +157,11 @@ class StreamReplayDriver:
         probes_per_checkpoint: int = 4,
         max_parity_users: Optional[int] = None,
         seed: int = 0,
+        trace: bool = False,
     ):
         if probe_every < 1:
             raise ValueError(f"probe_every must be >= 1, got {probe_every}")
+        self.trace = trace
         self.dataset = dataset
         self.k = k
         self.serve_config = serve_config or ServeConfig(batch_size=256)
@@ -177,6 +188,7 @@ class StreamReplayDriver:
             model=model,
             config=self.serve_config,
             train_config=self.train_config,
+            trace=self.trace,
         )
 
     def _parity_users(self, service: RecommendationService) -> np.ndarray:
@@ -220,7 +232,9 @@ class StreamReplayDriver:
 
         latency = service.metrics.histogram("latency.recommend_seconds")
         update_latency = service.metrics.histogram("latency.update_seconds")
-        recommend_seconds = float(np.sum(latency.samples)) if latency.count else 0.0
+        # The histogram's streaming sum is exact even past the reservoir
+        # bound (its retained samples are only a subset).
+        recommend_seconds = float(latency.sum) if latency.count else 0.0
         return ReplayReport(
             dataset=self.dataset.name,
             k=self.k,
@@ -248,4 +262,5 @@ class StreamReplayDriver:
                 matches / parity_users.size if parity_users.size else 1.0
             ),
             metrics=service.metrics.as_dict(),
+            trace=service.tracer.as_dict() if service.tracer.enabled else {},
         )

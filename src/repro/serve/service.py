@@ -26,7 +26,7 @@ answers equal the offline ranking pipeline exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.core.inslearn import InsLearnConfig, InsLearnTrainer
 from repro.core.model import SUPA
 from repro.datasets.base import Dataset
 from repro.graph.streams import EdgeStream, StreamEdge
+from repro.obs.trace import NullTracer, Tracer, make_tracer
 from repro.serve.index import TopKIndex
 from repro.serve.ingest import EventQueue
 from repro.serve.metrics import MetricsRegistry
@@ -86,6 +87,12 @@ class RecommendationService:
         default trainer).
     config:
         Serving knobs; see :class:`ServeConfig`.
+    trace:
+        ``True`` (or an existing :class:`~repro.obs.trace.Tracer`)
+        records ``repro.obs`` spans — ingest/update/query here, and the
+        model's training phases nested inside update — into a tree
+        shared with the service's metrics registry.  Default off: the
+        no-op tracer keeps the serve path overhead-free.
     """
 
     def __init__(
@@ -95,6 +102,7 @@ class RecommendationService:
         trainer: Optional[InsLearnTrainer] = None,
         config: Optional[ServeConfig] = None,
         train_config: Optional[InsLearnConfig] = None,
+        trace: Union[bool, Tracer, NullTracer] = False,
     ):
         self.config = config or ServeConfig()
         self.dataset = dataset
@@ -129,6 +137,11 @@ class RecommendationService:
         self.items = dataset.nodes_of_type(self.item_type)
 
         self.metrics = MetricsRegistry()
+        self.tracer = make_tracer(trace, registry=self.metrics)
+        if self.tracer.enabled:
+            # Nest the model's training spans (core.inslearn.*,
+            # core.engine.*) under this service's update span.
+            self.model.tracer = self.tracer
         # Pre-register every instrument so exports are fully populated
         # even before the first event / recommendation arrives.
         for name in (
@@ -206,11 +219,12 @@ class RecommendationService:
         A full micro-batch triggers an update + snapshot publish inline;
         malformed or shed events return False (see ``deadletters``).
         """
-        accepted = self.queue.put(edge)
+        with self.tracer.span("serve.service.ingest"):
+            accepted = self.queue.put(edge)
         counters = self.metrics
-        counters.counter("ingest.accepted").value = self.queue.accepted
-        counters.counter("ingest.rejected").value = self.queue.rejected
-        counters.counter("ingest.dropped").value = self.queue.dropped
+        counters.counter("ingest.accepted").set(self.queue.accepted)
+        counters.counter("ingest.rejected").set(self.queue.rejected)
+        counters.counter("ingest.dropped").set(self.queue.dropped)
         counters.gauge("queue.pending").set(self.queue.pending)
         return accepted
 
@@ -236,27 +250,32 @@ class RecommendationService:
         """One background InsLearn step + atomic snapshot publication."""
         self._update_in_flight = True
         try:
-            with self.metrics.histogram("latency.update_seconds").time():
-                report = self.trainer.train_one_batch(
-                    batch, batch_index=self._updates_applied
-                )
-                self._clock = max(self._clock, float(batch[len(batch) - 1].t))
-                if self._full_refresh:
-                    rows = np.arange(self.dataset.num_nodes, dtype=np.int64)
-                else:
-                    # touched_nodes is a sorted tuple by contract
-                    rows = np.asarray(report.touched_nodes, dtype=np.int64)
-                snapshot = self.store.publish(
-                    rows,
-                    self.model.final_embeddings(rows, self.edge_type, self._clock),
-                )
-                touched = set(int(r) for r in rows)
-                self.index.invalidate(snapshot, touched, touched)
+            with self.tracer.span("serve.service.update", events=len(batch)):
+                with self.metrics.histogram("latency.update_seconds").time():
+                    report = self.trainer.train_one_batch(
+                        batch, batch_index=self._updates_applied
+                    )
+                    self._clock = max(self._clock, float(batch[len(batch) - 1].t))
+                    if self._full_refresh:
+                        rows = np.arange(self.dataset.num_nodes, dtype=np.int64)
+                    else:
+                        # touched_nodes is a sorted tuple by contract
+                        rows = np.asarray(report.touched_nodes, dtype=np.int64)
+                    with self.tracer.span("serve.store.publish", rows=int(rows.size)):
+                        snapshot = self.store.publish(
+                            rows,
+                            self.model.final_embeddings(
+                                rows, self.edge_type, self._clock
+                            ),
+                        )
+                    touched = set(int(r) for r in rows)
+                    with self.tracer.span("serve.index.invalidate"):
+                        self.index.invalidate(snapshot, touched, touched)
             self._updates_applied += 1
-            self.metrics.counter("updates.applied").value = self._updates_applied
-            self.metrics.counter("cache.invalidated").value = self.index.invalidations
-            self.metrics.counter("cache.evictions").value = self.index.evictions
-            self.metrics.counter("store.compactions").value = self.store.compactions
+            self.metrics.counter("updates.applied").set(self._updates_applied)
+            self.metrics.counter("cache.invalidated").set(self.index.invalidations)
+            self.metrics.counter("cache.evictions").set(self.index.evictions)
+            self.metrics.counter("store.compactions").set(self.store.compactions)
             self.metrics.gauge("store.version").set(snapshot.version)
         finally:
             self._update_in_flight = False
@@ -274,16 +293,17 @@ class RecommendationService:
             raise IndexError(
                 f"user {user} outside universe of {self.dataset.num_nodes} nodes"
             )
-        with self.metrics.histogram("latency.recommend_seconds").time():
-            snapshot = self.store.snapshot()  # pin: reads stay on one version
-            hits_before = self.index.hits
-            items = self.index.top_k(snapshot, int(user), int(k))
+        with self.tracer.span("serve.service.query"):
+            with self.metrics.histogram("latency.recommend_seconds").time():
+                snapshot = self.store.snapshot()  # pin: reads stay on one version
+                hits_before = self.index.hits
+                items = self.index.top_k(snapshot, int(user), int(k))
         self.metrics.counter("serve.recommendations").inc()
         if self.index.hits > hits_before:
             self.metrics.counter("cache.hits").inc()
         else:
             self.metrics.counter("cache.misses").inc()
-        self.metrics.counter("cache.evictions").value = self.index.evictions
+        self.metrics.counter("cache.evictions").set(self.index.evictions)
         stale_by = self.queue.pending
         if self._update_in_flight:
             stale_by += self.config.batch_size

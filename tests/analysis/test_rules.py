@@ -531,6 +531,76 @@ class TestPublicApi:
 # ------------------------------------------------------------------ framework
 
 
+class TestMetricsDiscipline:
+    def test_print_in_library_code_fires(self, lint):
+        result = lint(
+            {
+                "src/repro/core/foo.py": """
+                def report(x):
+                    print("loss:", x)
+                """
+            }
+        )
+        assert rules_hit(result) == ["metrics-discipline"]
+        assert "print()" in result.violations[0].message
+
+    def test_cli_and_reporters_may_print(self, lint):
+        result = lint(
+            {
+                "src/repro/cli.py": """
+                print("table")
+                """,
+                "src/repro/analysis/reporters.py": """
+                def emit(text):
+                    print(text)
+                """,
+            }
+        )
+        assert result.ok
+
+    def test_raw_clock_call_fires(self, lint):
+        result = lint(
+            {
+                "src/repro/eval/foo.py": """
+                import time
+                start = time.perf_counter()
+                elapsed = time.perf_counter() - start
+                """
+            }
+        )
+        assert len(result.violations) == 2
+        assert rules_hit(result) == ["metrics-discipline"]
+        assert "time.perf_counter" in result.violations[0].message
+
+    def test_timer_and_obs_modules_own_the_clock(self, lint):
+        result = lint(
+            {
+                "src/repro/utils/timer.py": """
+                import time
+                def now():
+                    return time.perf_counter()
+                """,
+                "src/repro/obs/trace.py": """
+                import time
+                def now():
+                    return time.perf_counter()
+                """,
+            }
+        )
+        assert result.ok
+
+    def test_suppression_comment_silences(self, lint):
+        result = lint(
+            {
+                "src/repro/core/foo.py": """
+                import time
+                t = time.time()  # reprolint: disable=metrics-discipline
+                """
+            }
+        )
+        assert result.ok
+
+
 class TestFramework:
     def test_select_and_ignore(self, lint):
         files = {

@@ -113,6 +113,37 @@ def test_batched_engine_is_run_deterministic():
         assert a.mean_loss == b.mean_loss
 
 
+# ------------------------------------------------------------ tracing parity
+
+
+@pytest.mark.parametrize("engine", ["reference", "batched"])
+def test_tracing_is_bitwise_neutral(engine):
+    """Observability must never change the computation: a traced run and
+    an untraced run of the same engine are byte-identical — model state,
+    reports, and the consumed RNG stream."""
+    plain_model, plain_reports = _train(SUPAConfig(seed=7, engine=engine))
+    traced_model, traced_reports = _train(
+        SUPAConfig(seed=7, engine=engine, trace=True)
+    )
+    assert _state_bytes(plain_model) == _state_bytes(traced_model)
+    for plain, traced in zip(plain_reports, traced_reports):
+        assert plain.mean_loss == traced.mean_loss
+        assert plain.best_score == traced.best_score
+        assert plain.touched_nodes == traced.touched_nodes
+    assert (
+        plain_model.rng.bit_generator.state
+        == traced_model.rng.bit_generator.state
+    )
+    # the traced run actually recorded the training span tree
+    spans = {s["name"] for s in traced_model.tracer.as_dict()["spans"]}
+    assert "core.inslearn.batch" in spans
+
+
+def test_engines_agree_with_tracing_enabled():
+    """The cross-engine bitwise contract holds under tracing too."""
+    _assert_engines_agree(SUPAConfig(seed=7, trace=True))
+
+
 # ------------------------------------------------- finite-difference checks
 
 

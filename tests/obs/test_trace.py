@@ -1,0 +1,183 @@
+"""repro.obs.trace: span nesting, aggregation, the zero-cost null path."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    format_flame_table,
+    format_span_tree,
+    make_tracer,
+)
+
+
+class TestSpanTree:
+    def test_nesting_builds_parent_child_tree(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+            with t.span("inner"):
+                pass
+        outer = t.root.children["outer"]
+        assert outer.count == 1
+        inner = outer.children["inner"]
+        assert inner.count == 2
+        assert "inner" not in t.root.children  # nested, not top-level
+
+    def test_same_name_spans_aggregate_not_append(self):
+        t = Tracer()
+        for _ in range(100):
+            with t.span("batch"):
+                pass
+        assert len(t.root.children) == 1
+        assert t.root.children["batch"].count == 100
+
+    def test_self_seconds_excludes_children(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        outer = t.root.children["outer"]
+        inner = outer.children["inner"]
+        assert outer.total_seconds >= inner.total_seconds
+        assert (
+            pytest.approx(outer.self_seconds, abs=1e-12)
+            == outer.total_seconds - inner.total_seconds
+        )
+
+    def test_exception_unwinds_the_stack(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("outer"):
+                with t.span("inner"):
+                    raise RuntimeError("boom")
+        # both spans closed despite the raise, and new spans attach at root
+        assert t.root.children["outer"].count == 1
+        assert t.root.children["outer"].children["inner"].count == 1
+        with t.span("after"):
+            pass
+        assert "after" in t.root.children
+
+    def test_numeric_attrs_sum_others_keep_last(self):
+        t = Tracer()
+        with t.span("batch", edges=3, phase="warm", ok=True):
+            pass
+        with t.span("batch", edges=4, phase="steady", ok=False):
+            pass
+        attrs = t.root.children["batch"].attrs
+        assert attrs["edges"] == 7
+        assert attrs["phase"] == "steady"
+        assert attrs["ok"] is False  # bools are not summed
+
+    def test_wrap_records_each_call(self):
+        t = Tracer()
+
+        def kernel(x):
+            return x + 1
+
+        traced = t.wrap("kernel", kernel)
+        assert traced(1) == 2 and traced(2) == 3
+        assert t.root.children["kernel"].count == 2
+
+    def test_reset_drops_tree_keeps_registry(self):
+        reg = MetricsRegistry()
+        t = Tracer(registry=reg)
+        with t.span("a"):
+            pass
+        t.reset()
+        assert t.as_dict() == {"spans": []}
+        assert t.registry is reg
+
+    def test_as_dict_shape(self):
+        t = Tracer()
+        with t.span("outer", edges=2):
+            with t.span("inner"):
+                pass
+        d = t.as_dict()
+        assert [s["name"] for s in d["spans"]] == ["outer"]
+        outer = d["spans"][0]
+        assert outer["count"] == 1 and outer["attrs"] == {"edges": 2}
+        assert [c["name"] for c in outer["children"]] == ["inner"]
+        assert "children" not in outer["children"][0]
+
+    def test_flame_rows_merge_same_name_across_positions(self):
+        t = Tracer()
+        with t.span("a"):
+            with t.span("shared"):
+                pass
+        with t.span("b"):
+            with t.span("shared"):
+                pass
+        rows = {row[0]: row for row in t.flame_rows()}
+        assert set(rows) == {"a", "b", "shared"}
+        assert rows["shared"][1] == 2  # one merged row, two calls
+
+
+class TestNullTracer:
+    def test_is_disabled_and_shared(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.registry is None
+        assert NULL_TRACER.span("x") is NULL_TRACER.span("y")
+
+    def test_span_is_noop_context(self):
+        with NULL_TRACER.span("x", edges=3) as node:
+            assert node is None
+        assert NULL_TRACER.as_dict() == {"spans": []}
+        assert NULL_TRACER.flame_rows() == []
+
+    def test_wrap_returns_function_unchanged(self):
+        def fn():
+            return 42
+
+        assert NULL_TRACER.wrap("fn", fn) is fn
+
+
+class TestMakeTracer:
+    def test_truthy_builds_recording_tracer(self):
+        t = make_tracer(True)
+        assert isinstance(t, Tracer) and t.enabled
+
+    def test_falsy_yields_shared_null(self):
+        assert make_tracer(False) is NULL_TRACER
+        assert make_tracer(None) is NULL_TRACER
+
+    def test_instances_pass_through(self):
+        t = Tracer()
+        n = NullTracer()
+        assert make_tracer(t) is t
+        assert make_tracer(n) is n
+
+    def test_registry_is_shared_when_given(self):
+        reg = MetricsRegistry()
+        t = make_tracer(True, registry=reg)
+        assert t.registry is reg
+
+
+class TestRendering:
+    def test_format_span_tree(self):
+        t = Tracer()
+        with t.span("outer", edges=2):
+            with t.span("inner"):
+                pass
+        text = format_span_tree(t)
+        lines = text.splitlines()
+        assert lines[0].startswith("outer") and "{edges=2}" in lines[0]
+        assert lines[1].startswith("  inner")
+        assert "calls=1" in lines[0]
+
+    def test_format_span_tree_edge_cases(self):
+        assert format_span_tree(NullTracer()) == "(tracing disabled)"
+        assert format_span_tree(Tracer()) == "(no spans recorded)"
+
+    def test_format_flame_table(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        text = format_flame_table(t)
+        assert "span self-times" in text
+        assert "outer" in text and "inner" in text
+        assert format_flame_table(Tracer()) == "(no spans recorded)"
