@@ -1,0 +1,199 @@
+"""Recovery benchmark: crash cost, WAL/checkpoint overhead, parity.
+
+Replays a zoo dataset through the serving stack three ways:
+
+1. **golden** — no resilience machinery at all (the baseline cost);
+2. **durable** — identical replay with the WAL + periodic checkpoints
+   enabled, measuring the durability overhead;
+3. **crash + recover** — the durable run is killed at several stream
+   positions and rebuilt via :func:`repro.resilience.recovery.recover`,
+   measuring recovery wall-clock and replay volume.
+
+Every recovered run must end **bitwise identical** to the golden run
+(model state, both RNG streams, clock and served top-K) — the same
+guarantee ``tests/resilience/test_recovery_parity.py`` gates on, here
+measured at benchmark scale.  Results land in
+``benchmarks/results/recovery.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from harness import BENCH_SCALE, RESULTS_DIR, emit
+from repro.core import InsLearnConfig, SUPAConfig
+from repro.core.model import SUPA
+from repro.datasets import load_dataset
+from repro.resilience import recover
+from repro.resilience.checkpoint import _flatten
+from repro.serve import RecommendationService, ServeConfig
+from repro.utils.tables import format_table
+
+DATASET = "uci"
+BATCH_SIZE = 64
+CHECKPOINT_EVERY = 4
+CRASH_FRACTIONS = (0.1, 0.5, 0.9)
+K = 10
+JSON_PATH = os.path.join(RESULTS_DIR, "recovery.json")
+
+
+def _configs(seed: int = 0):
+    model_cfg = SUPAConfig(dim=32, num_walks=2, walk_length=2, seed=seed)
+    train_cfg = InsLearnConfig(
+        batch_size=BATCH_SIZE,
+        max_iterations=2,
+        validation_interval=1,
+        validation_size=25,
+        patience=1,
+        seed=seed,
+    )
+    return model_cfg, train_cfg
+
+
+def _state_fingerprint(service) -> bytes:
+    flat: Dict[str, np.ndarray] = {}
+    _flatten(service.model.state_dict(), "", flat)
+    return b"".join(np.ascontiguousarray(flat[k]).tobytes() for k in sorted(flat))
+
+
+def _replay(dataset, serve_cfg, model_cfg, train_cfg, upto=None):
+    service = RecommendationService(
+        dataset,
+        model=SUPA.for_dataset(dataset, model_cfg),
+        config=serve_cfg,
+        train_config=train_cfg,
+    )
+    start = time.perf_counter()
+    for i, edge in enumerate(dataset.stream):
+        if upto is not None and i >= upto:
+            break
+        service.ingest(edge)
+    if upto is None:
+        service.flush()
+    return service, time.perf_counter() - start
+
+
+def run_recovery_benchmark() -> Dict[str, object]:
+    dataset = load_dataset(DATASET, scale=min(BENCH_SCALE, 0.5))
+    num_events = len(dataset.stream)
+    model_cfg, train_cfg = _configs()
+
+    golden_cfg = ServeConfig(batch_size=BATCH_SIZE)
+    golden, golden_seconds = _replay(dataset, golden_cfg, model_cfg, train_cfg)
+    golden_print = _state_fingerprint(golden)
+    golden_users = golden.users[:: max(1, golden.users.size // 32)]
+    golden_topk = {int(u): golden.recommend(int(u), K) for u in golden_users}
+
+    state_dir = tempfile.mkdtemp(prefix="repro-bench-recovery-")
+    durable_cfg = ServeConfig(
+        batch_size=BATCH_SIZE,
+        wal_path=os.path.join(state_dir, "bench.wal"),
+        checkpoint_dir=os.path.join(state_dir, "checkpoints"),
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
+    durable, durable_seconds = _replay(dataset, durable_cfg, model_cfg, train_cfg)
+    durable.close()
+    wal_bytes = os.path.getsize(durable_cfg.wal_path)
+    overhead = (
+        (durable_seconds - golden_seconds) / golden_seconds
+        if golden_seconds
+        else 0.0
+    )
+
+    crash_rows: List[Dict[str, object]] = []
+    for fraction in CRASH_FRACTIONS:
+        crash_at = max(1, int(num_events * fraction))
+        run_dir = tempfile.mkdtemp(prefix="repro-bench-crash-")
+        cfg = ServeConfig(
+            batch_size=BATCH_SIZE,
+            wal_path=os.path.join(run_dir, "bench.wal"),
+            checkpoint_dir=os.path.join(run_dir, "checkpoints"),
+            checkpoint_every=CHECKPOINT_EVERY,
+        )
+        victim, _ = _replay(dataset, cfg, model_cfg, train_cfg, upto=crash_at)
+        victim.close()  # the crash
+
+        result = recover(
+            dataset, serve_config=cfg, model_config=model_cfg, train_config=train_cfg
+        )
+        service = result.service
+        for edge in list(dataset.stream)[crash_at:]:
+            service.ingest(edge)
+        service.flush()
+        service.close()
+
+        parity = _state_fingerprint(service) == golden_print and all(
+            np.array_equal(service.recommend(u, K), golden_topk[u])
+            for u in golden_topk
+        )
+        crash_rows.append(
+            {
+                "crash_at": crash_at,
+                "crash_fraction": fraction,
+                "checkpoint_seq": result.checkpoint_seq,
+                "replayed_events": result.replayed_events,
+                "replayed_batches": result.replayed_batches,
+                "residue_events": result.residue_events,
+                "recovery_seconds": result.recovery_seconds,
+                "parity": bool(parity),
+            }
+        )
+        shutil.rmtree(run_dir)
+    shutil.rmtree(state_dir)
+
+    return {
+        "dataset": DATASET,
+        "num_events": num_events,
+        "batch_size": BATCH_SIZE,
+        "checkpoint_every": CHECKPOINT_EVERY,
+        "golden_seconds": golden_seconds,
+        "durable_seconds": durable_seconds,
+        "durability_overhead_fraction": overhead,
+        "wal_bytes": wal_bytes,
+        "crashes": crash_rows,
+        "all_parity": all(r["parity"] for r in crash_rows),
+    }
+
+
+def main() -> int:
+    summary = run_recovery_benchmark()
+    rows = [
+        [
+            r["crash_at"],
+            r["checkpoint_seq"],
+            r["replayed_events"],
+            r["residue_events"],
+            round(r["recovery_seconds"], 3),
+            "yes" if r["parity"] else "NO",
+        ]
+        for r in summary["crashes"]
+    ]
+    text = format_table(
+        ["crash@", "ckpt seq", "replayed", "residue", "recover s", "bitwise parity"],
+        rows,
+        title=(
+            f"crash recovery on {summary['dataset']} "
+            f"({summary['num_events']} events, S={summary['batch_size']}, "
+            f"durability overhead "
+            f"{summary['durability_overhead_fraction'] * 100:.1f}%, "
+            f"WAL {summary['wal_bytes'] / 1024:.0f} KiB)"
+        ),
+    )
+    emit("recovery", text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(JSON_PATH, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {JSON_PATH}")
+    return 0 if summary["all_parity"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

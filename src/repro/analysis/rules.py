@@ -1,35 +1,42 @@
-"""The reprolint rule set: seven checks for this codebase's real hazards.
+"""The reprolint rule set: eight checks for this codebase's real hazards.
 
-==================  ========================================================
-rule id             guards against
-==================  ========================================================
-rng-discipline      unseedable randomness (``np.random.*`` / stdlib
-                    ``random`` outside ``utils/rng.py``)
-explicit-dtype      silent float64/float32 drift from dtype-less array
-                    constructors in ``core/``, ``autograd/`` and
-                    ``serve/``; ``core/engine/`` additionally pins
-                    ``np.asarray`` and ``np.arange`` (plan arrays cross
-                    the bitwise-parity gate as raw bytes)
-autograd-backward   a differentiable op whose forward is taped via
-                    ``Tensor._make`` without a wired ``backward`` closure
-inplace-mutation    augmented assignment on a tensor's backing ``.data``
-                    array outside ``no_grad()`` — corrupts saved
-                    activations; in ``core/engine/`` also any subscript
-                    write to an attribute-held array (kernels must return
-                    gradients and route memory writes through the
-                    optimizer, never scatter into shared state)
-baseline-registry   a ``baselines/`` module missing from ``registry.py``
-                    or without a ``tests/baselines/test_<module>.py`` file
-public-api          ``repro.__all__`` names that do not resolve or lack
-                    docstrings
-metrics-discipline  ad-hoc telemetry: ``print()`` in library code
-                    (allowed only in ``cli.py`` and
-                    ``analysis/reporters.py``) and raw ``time.time()`` /
-                    ``time.perf_counter()`` outside ``utils/timer.py`` /
-                    ``obs/`` — timings must flow through the Timer /
-                    span / metrics APIs so they land in the shared
-                    registry
-==================  ========================================================
+====================  ======================================================
+rule id               guards against
+====================  ======================================================
+rng-discipline        unseedable randomness (``np.random.*`` / stdlib
+                      ``random`` outside ``utils/rng.py``)
+explicit-dtype        silent float64/float32 drift from dtype-less array
+                      constructors in ``core/``, ``autograd/``, ``serve/``
+                      and ``resilience/``; ``core/engine/`` additionally
+                      pins ``np.asarray`` and ``np.arange`` (plan arrays
+                      cross the bitwise-parity gate as raw bytes)
+autograd-backward     a differentiable op whose forward is taped via
+                      ``Tensor._make`` without a wired ``backward`` closure
+inplace-mutation      augmented assignment on a tensor's backing ``.data``
+                      array outside ``no_grad()`` — corrupts saved
+                      activations; in ``core/engine/`` also any subscript
+                      write to an attribute-held array (kernels must
+                      return gradients and route memory writes through
+                      the optimizer, never scatter into shared state)
+baseline-registry     a ``baselines/`` module missing from ``registry.py``
+                      or without a ``tests/baselines/test_<module>.py``
+                      file
+public-api            ``repro.__all__`` names that do not resolve or lack
+                      docstrings
+metrics-discipline    ad-hoc telemetry: ``print()`` in library code
+                      (allowed only in ``cli.py`` and
+                      ``analysis/reporters.py``) and raw ``time.time()`` /
+                      ``time.perf_counter()`` outside ``utils/timer.py`` /
+                      ``obs/`` — timings must flow through the Timer /
+                      span / metrics APIs so they land in the shared
+                      registry
+exception-discipline  error paths that hide failures: bare ``except:``
+                      (catches ``KeyboardInterrupt``/``SystemExit``) and
+                      handlers that silently swallow — a body with no
+                      raise / return / call / assignment / control flow,
+                      i.e. nothing that records, translates or reacts to
+                      the error
+====================  ======================================================
 
 Every rule honours ``# reprolint: disable=<id>`` on the reported line
 and ``# reprolint: disable-file=<id>`` anywhere in the reported file.
@@ -137,11 +144,12 @@ class ExplicitDtypeRule(Rule):
 
     id = "explicit-dtype"
     description = (
-        "np.zeros/np.empty/np.ones/np.full in core/, autograd/ and serve/ must "
-        "pass an explicit dtype= so the analytic-gradient, autograd and "
-        "serving-snapshot paths cannot drift between float32 and float64; "
-        "core/engine/ additionally requires dtype= on np.asarray/np.arange "
-        "because plan arrays feed the engines' bitwise-parity contract"
+        "np.zeros/np.empty/np.ones/np.full in core/, autograd/, serve/ and "
+        "resilience/ must pass an explicit dtype= so the analytic-gradient, "
+        "autograd, serving-snapshot and checkpoint-parity paths cannot drift "
+        "between float32 and float64; core/engine/ additionally requires "
+        "dtype= on np.asarray/np.arange because plan arrays feed the "
+        "engines' bitwise-parity contract"
     )
 
     #: constructor -> index of the positional dtype argument
@@ -150,7 +158,7 @@ class ExplicitDtypeRule(Rule):
     #: coercions/ranges must pin their dtype (platform default int drift
     #: would silently break the parity gate, not just precision).
     ENGINE_CONSTRUCTORS = {**CONSTRUCTORS, "asarray": 1, "arange": 3}
-    SCOPES = ("core/", "autograd/", "serve/")
+    SCOPES = ("core/", "autograd/", "serve/", "resilience/")
     ENGINE_SCOPE = "core/engine/"
 
     def applies_to(self, sf: SourceFile) -> bool:
@@ -661,3 +669,72 @@ class PublicApiRule(Rule):
                     return None
                 return tree, owner
         return None
+
+
+# --------------------------------------------------------- exception-discipline
+
+
+@register_rule
+class ExceptionDisciplineRule(Rule):
+    """Error paths must surface, translate or record — never vanish."""
+
+    id = "exception-discipline"
+    description = (
+        "no bare `except:` (it catches KeyboardInterrupt/SystemExit) and no "
+        "silently-swallowing handlers: an except body must raise, return, "
+        "call something (log/metric/cleanup), assign state or branch control "
+        "flow — a body of pass/constants makes failures undiagnosable, which "
+        "the resilience layer's recovery guarantees cannot survive"
+    )
+
+    #: statement types that count as *reacting* to the caught exception
+    HANDLED_STATEMENTS = (
+        ast.Raise,
+        ast.Return,
+        ast.Break,
+        ast.Continue,
+        ast.Assign,
+        ast.AugAssign,
+        ast.AnnAssign,
+        ast.Delete,
+        ast.Assert,
+    )
+    #: expression types that count when they appear anywhere in the body
+    HANDLED_EXPRESSIONS = (ast.Call, ast.Yield, ast.YieldFrom, ast.Await)
+
+    def check_file(self, sf: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Violation(
+                    path=sf.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        "bare `except:` catches KeyboardInterrupt and "
+                        "SystemExit; name the exception types (use "
+                        "`except Exception` at the very least)"
+                    ),
+                )
+            if not self._handles(node):
+                yield Violation(
+                    path=sf.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        "exception silently swallowed: the handler body "
+                        "neither raises, returns, records (call/assignment) "
+                        "nor redirects control flow"
+                    ),
+                )
+
+    def _handles(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, self.HANDLED_STATEMENTS) or isinstance(
+                node, self.HANDLED_EXPRESSIONS
+            ):
+                return True
+        return False

@@ -12,7 +12,12 @@ Commands:
 * ``export`` — write a generated dataset's edge stream to TSV.
 * ``serve-replay`` — replay a dataset through the online serving layer
   (:mod:`repro.serve`) and report throughput, latency and offline
-  parity.
+  parity; ``--faults`` / ``--crash-at`` switch the replay into the
+  fault-injecting chaos harness.
+* ``chaos-replay`` — replay a dataset while injecting a seeded fault
+  plan (malformed / late / duplicate / burst / crash), recover through
+  the WAL + checkpoint stack and reconcile every injected fault against
+  what the system recorded (see :mod:`repro.resilience`).
 * ``bench-train`` — measure steady-state training throughput of the
   reference vs batched execution engine (with a bitwise parity check)
   and optionally enforce a minimum speedup.
@@ -171,10 +176,115 @@ def cmd_lint(args: argparse.Namespace) -> int:
     )
 
 
+def _build_fault_plan(
+    spec: str, crash_at: Optional[int], num_events: int, seed: int, burst_size: int
+):
+    """A :class:`FaultPlan` from a CLI spec plus an optional pinned crash."""
+    from repro.resilience import Fault, FaultPlan
+
+    counts = FaultPlan.parse_spec(spec)
+    if crash_at is not None:
+        # an explicit crash position replaces any seeded crash faults
+        counts.pop("crash", None)
+    plan = FaultPlan.seeded(
+        num_events, seed=seed, burst_size=burst_size, **counts
+    )
+    if crash_at is not None:
+        if not 1 <= crash_at < num_events:
+            raise SystemExit(
+                f"--crash-at must be in [1, {num_events - 1}] for this "
+                f"stream, got {crash_at}"
+            )
+        plan.faults.append(Fault(kind="crash", position=int(crash_at)))
+        plan.faults.sort(key=lambda f: (f.position, f.kind))
+    return plan
+
+
+def _chaos_replay(args: argparse.Namespace, title: str) -> int:
+    """Shared body of ``chaos-replay`` and faulted ``serve-replay``."""
+    import tempfile
+
+    from repro.resilience import ChaosReplayDriver
+    from repro.serve import ServeConfig
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    state_dir = getattr(args, "state_dir", None) or tempfile.mkdtemp(
+        prefix="repro-chaos-"
+    )
+    capacity = max(args.capacity, args.batch_size)
+    plan = _build_fault_plan(
+        args.faults,
+        args.crash_at,
+        len(dataset.stream),
+        args.seed,
+        burst_size=capacity,
+    )
+    driver = ChaosReplayDriver(
+        dataset,
+        state_dir=state_dir,
+        plan=plan,
+        k=args.k,
+        serve_config=ServeConfig(
+            batch_size=args.batch_size,
+            capacity=capacity,
+            overflow="drop_new",
+            cache_size=args.cache_size,
+            late_tolerance=0.0,
+        ),
+        model_config=SUPAConfig(
+            dim=args.dim, num_walks=2, walk_length=2, seed=args.seed
+        ),
+        max_parity_users=args.max_parity_users,
+        seed=args.seed,
+    )
+    report = driver.run()
+    print(
+        format_table(
+            ["metric", "value"],
+            report.summary_rows(),
+            title=title,
+        )
+    )
+    if args.output:
+        print(f"wrote {report.write_json(args.output)}")
+    failed = False
+    if not report.reconciled:
+        print("FAIL: fault ledger did not reconcile:")
+        for mismatch in report.mismatches:
+            print(f"  {mismatch}")
+        failed = True
+    if report.parity_fraction < args.min_parity:
+        print(
+            f"FAIL: parity {report.parity_fraction:.4f} below "
+            f"--min-parity {args.min_parity}"
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+def cmd_chaos_replay(args: argparse.Namespace) -> int:
+    return _chaos_replay(
+        args,
+        title=(
+            f"chaos-replay: {args.dataset} (scale={args.scale}, "
+            f"seed={args.seed}, faults={args.faults!r})"
+        ),
+    )
+
+
 def cmd_serve_replay(args: argparse.Namespace) -> int:
     from repro.obs import format_span_tree
     from repro.serve import ServeConfig, StreamReplayDriver
 
+    if args.faults.strip() not in ("", "none") or args.crash_at is not None:
+        return _chaos_replay(
+            args,
+            title=(
+                f"serve-replay (chaos): {args.dataset} "
+                f"(scale={args.scale}, faults={args.faults!r}, "
+                f"crash_at={args.crash_at})"
+            ),
+        )
     trace = bool(getattr(args, "trace", False))
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     driver = StreamReplayDriver(
@@ -408,7 +518,64 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record repro.obs spans and print the span tree",
     )
+    p.add_argument("--capacity", type=int, default=2048, help="queue capacity")
+    p.add_argument(
+        "--faults",
+        default="",
+        help="fault spec like 'malformed=4,late=3,crash=1'; switches the "
+        "replay into the chaos harness (see chaos-replay)",
+    )
+    p.add_argument(
+        "--crash-at",
+        type=int,
+        default=None,
+        help="crash + recover just before this stream position "
+        "(also switches into the chaos harness)",
+    )
     p.set_defaults(func=cmd_serve_replay)
+
+    p = sub.add_parser(
+        "chaos-replay",
+        help="replay with seeded fault injection, crash recovery and "
+        "fault-ledger reconciliation",
+    )
+    _add_common(p)
+    p.add_argument("--k", type=int, default=10, help="recommendation list length")
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--batch-size", type=int, default=32, help="update micro-batch")
+    p.add_argument("--capacity", type=int, default=128, help="queue capacity")
+    p.add_argument("--cache-size", type=int, default=1024)
+    p.add_argument(
+        "--state-dir",
+        default=None,
+        help="directory for the WAL + checkpoints (default: a fresh tempdir)",
+    )
+    p.add_argument(
+        "--faults",
+        default="malformed=4,late=3,duplicate=3,burst=1,crash=1",
+        help="comma-separated kind=count fault spec ('none' for a clean run)",
+    )
+    p.add_argument(
+        "--crash-at",
+        type=int,
+        default=None,
+        help="pin the crash fault to this stream position",
+    )
+    p.add_argument(
+        "--max-parity-users", type=int, default=None, help="cap parity check users"
+    )
+    p.add_argument(
+        "--min-parity",
+        type=float,
+        default=0.99,
+        help="fail when served/offline top-K parity drops below this",
+    )
+    p.add_argument(
+        "--output",
+        default=os.path.join("benchmarks", "results", "chaos_replay.json"),
+        help="JSON report path ('' to skip writing)",
+    )
+    p.set_defaults(func=cmd_chaos_replay)
 
     p = sub.add_parser(
         "obs",

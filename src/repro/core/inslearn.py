@@ -162,6 +162,20 @@ class InsLearnTrainer:
         #: :meth:`train_one_batch`.
         self.last_touched_nodes: Tuple[int, ...] = ()
 
+    def rng_state(self):
+        """JSON-serialisable snapshot of the validation RNG.
+
+        Together with ``model.rng`` this is the trainer's only
+        cross-batch mutable state, so checkpointing it
+        (:mod:`repro.resilience.checkpoint`) makes a recovered trainer
+        resume the exact validation-sampling stream.
+        """
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state) -> None:
+        """Restore a snapshot captured by :meth:`rng_state`."""
+        self._rng.bit_generator.state = state
+
     def fit(self, stream: EdgeStream) -> TrainingReport:
         """Train the model on ``stream`` batch by batch (single pass)."""
         report = TrainingReport()

@@ -1,0 +1,50 @@
+"""repro.resilience: durability and fault tolerance for the serving layer.
+
+Four pieces, composing into crash recovery with bitwise parity:
+
+* :mod:`~repro.resilience.wal` — an append-only, CRC-checksummed
+  write-ahead log of every :class:`~repro.serve.ingest.EventQueue`
+  decision (accept / evict / batch), tolerant of torn tails;
+* :mod:`~repro.resilience.checkpoint` — atomic (write-temp + rename)
+  snapshots of the full learned state: ``SUPA.state_dict()``, both RNG
+  streams, the queue residue and the WAL position;
+* :mod:`~repro.resilience.recovery` — :func:`recover` rebuilds a
+  service from the newest valid checkpoint plus a WAL-suffix replay,
+  **bitwise identical** to a run that never crashed;
+* :mod:`~repro.resilience.faults` — a seeded fault-injection plan and
+  :class:`ChaosReplayDriver` that replays a dataset's stream while
+  injecting malformed / late / duplicate / burst / crash faults, then
+  reconciles every injected fault against what the system recorded.
+"""
+
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointManager,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    ChaosReplayDriver,
+    ChaosReport,
+    Fault,
+    FaultPlan,
+)
+from repro.resilience.recovery import RecoveryError, RecoveryResult, recover
+from repro.resilience.wal import WalRecord, WriteAheadLog, scan
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointManager",
+    "FAULT_KINDS",
+    "ChaosReplayDriver",
+    "ChaosReport",
+    "Fault",
+    "FaultPlan",
+    "RecoveryError",
+    "RecoveryResult",
+    "recover",
+    "WalRecord",
+    "WriteAheadLog",
+    "scan",
+]

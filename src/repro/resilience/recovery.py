@@ -1,0 +1,227 @@
+"""Crash recovery: newest valid checkpoint + WAL-suffix replay.
+
+:func:`recover` rebuilds a :class:`~repro.serve.service.RecommendationService`
+whose learned state is **bitwise identical** to the crashed process at
+its last journaled decision — the same golden-parity discipline as
+``tests/core/test_engine_parity.py``.  The argument, step by step:
+
+1. The WAL (:mod:`repro.resilience.wal`) is the queue's decision log:
+   ``accept``/``evict``/``batch`` records written *before* each state
+   change.  Replaying it reconstructs the exact FIFO evolution of the
+   queue — in particular the exact micro-batch boundaries the trainer
+   saw, independent of when pauses or flushes happened to trigger
+   dispatch.
+2. Rebuilding the graph consumes no randomness: ``SUPA.observe`` only
+   inserts edges and ticks the (degree-derived, RNG-free) negative
+   sampler's refresh schedule.  Observing the trained prefix therefore
+   reproduces graph, caches-by-invalidation and sampler tables exactly.
+3. All training randomness flows through exactly two generators —
+   ``model.rng`` (walk/negative sampling) and the trainer's validation
+   RNG — whose full PCG64 states live in the checkpoint.  Restoring
+   ``state_dict`` + both RNG states puts the model on the identical
+   stochastic path.
+4. Replaying the post-checkpoint ``batch`` records through
+   ``train_one_batch`` with the restored ``updates_applied`` as
+   ``batch_index`` then re-derives every post-checkpoint update
+   bit-for-bit; the surviving FIFO tail is preloaded back into the
+   queue as residue.
+
+With no usable checkpoint, recovery degrades gracefully to replaying
+the *entire* WAL from a fresh model — slower, same parity guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import SUPAConfig
+from repro.core.inslearn import InsLearnConfig, InsLearnTrainer
+from repro.core.model import SUPA
+from repro.datasets.base import Dataset
+from repro.graph.streams import EdgeStream, StreamEdge
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.wal import WalRecord, scan
+from repro.serve.service import RecommendationService, ServeConfig
+from repro.utils.timer import Timer
+
+
+class RecoveryError(RuntimeError):
+    """The WAL and checkpoint disagree in a way replay cannot reconcile."""
+
+
+@dataclass
+class RecoveryResult:
+    """What :func:`recover` rebuilt, plus replay accounting."""
+
+    service: RecommendationService
+    #: WAL position of the checkpoint recovery started from (0 = none)
+    checkpoint_seq: int
+    #: accept records re-applied from the WAL suffix
+    replayed_events: int
+    #: micro-batches re-trained from the WAL suffix
+    replayed_batches: int
+    #: events restored into the queue buffer (accepted, never trained)
+    residue_events: int
+    #: torn/corrupt trailing records the WAL scan dropped
+    torn_records_dropped: int
+    #: wall-clock seconds the whole recovery took
+    recovery_seconds: float
+
+
+def _queue_log_state(
+    records: List[WalRecord], upto_seq: Optional[int]
+) -> Tuple[List[StreamEdge], List[StreamEdge]]:
+    """Fold queue decisions up to ``upto_seq`` into (trained, fifo)."""
+    trained: List[StreamEdge] = []
+    fifo: List[StreamEdge] = []
+    for record in records:
+        if upto_seq is not None and record.seq > upto_seq:
+            break
+        if record.kind == "accept":
+            fifo.append(record.edge)
+        elif record.kind == "evict":
+            if not fifo or fifo[0] != record.edge:
+                raise RecoveryError(
+                    f"evict record #{record.seq} does not match the queue head"
+                )
+            fifo.pop(0)
+        else:  # batch
+            if record.count > len(fifo):
+                raise RecoveryError(
+                    f"batch record #{record.seq} dispatches {record.count} "
+                    f"events but only {len(fifo)} are buffered"
+                )
+            trained.extend(fifo[: record.count])
+            del fifo[: record.count]
+    return trained, fifo
+
+
+def recover(
+    dataset: Dataset,
+    serve_config: ServeConfig,
+    model_config: Optional[SUPAConfig] = None,
+    train_config: Optional[InsLearnConfig] = None,
+    trace: bool = False,
+) -> RecoveryResult:
+    """Rebuild the service from ``serve_config``'s WAL + checkpoints.
+
+    ``model_config`` / ``train_config`` must match the crashed process's
+    (recovery re-derives, it does not store hyper-parameters); omitted
+    values fall back to the same defaults ``RecommendationService``
+    itself would use.
+    """
+    if serve_config.wal_path is None or serve_config.checkpoint_dir is None:
+        raise ValueError(
+            "serve_config must set wal_path and checkpoint_dir to recover"
+        )
+    timer = Timer()
+    with timer:
+        manager = CheckpointManager(
+            serve_config.checkpoint_dir, retain=serve_config.checkpoint_retain
+        )
+        ckpt = manager.latest()
+        wal_scan = scan(serve_config.wal_path)
+        records = wal_scan.records
+        base_seq = ckpt.seq if ckpt is not None else 0
+        if base_seq > wal_scan.last_seq:
+            raise RecoveryError(
+                f"WAL ends at seq {wal_scan.last_seq} but the newest "
+                f"checkpoint covers seq {base_seq} (log truncated?)"
+            )
+        trained, fifo = _queue_log_state(records, base_seq)
+        if ckpt is not None:
+            if list(ckpt.residue) != fifo:
+                raise RecoveryError(
+                    "checkpoint residue disagrees with the WAL prefix "
+                    f"({len(ckpt.residue)} vs {len(fifo)} buffered events)"
+                )
+            if ckpt.num_nodes and ckpt.num_nodes != dataset.num_nodes:
+                raise RecoveryError(
+                    f"checkpoint was taken over {ckpt.num_nodes} nodes but "
+                    f"the dataset has {dataset.num_nodes}"
+                )
+
+        # 1. rebuild graph + sampler schedule (consumes no RNG), then
+        #    restore the learned state and both RNG streams on top
+        model = SUPA.for_dataset(dataset, model_config)
+        for edge in trained:
+            model.observe(edge.u, edge.v, edge.edge_type, edge.t)
+        if ckpt is not None:
+            model.load_state_dict(ckpt.model_state)
+            model.rng.bit_generator.state = ckpt.model_rng_state
+        train_config = train_config or InsLearnConfig(
+            batch_size=serve_config.batch_size,
+            max_iterations=4,
+            validation_interval=2,
+            validation_size=25,
+            patience=1,
+        )
+        trainer = InsLearnTrainer(model, train_config)
+        if ckpt is not None:
+            trainer.set_rng_state(ckpt.trainer_rng_state)
+
+        # 2. bring the service up at the checkpoint's watermark (its WAL
+        #    reopens self-repairing and keeps appending from last_seq)
+        service = RecommendationService(
+            dataset,
+            model=model,
+            trainer=trainer,
+            config=serve_config,
+            trace=trace,
+            initial_clock=ckpt.clock if ckpt is not None else 0.0,
+        )
+        watermark = max(
+            (r.edge.t for r in records if r.kind == "accept"),
+            default=float("-inf"),
+        )
+        service.restore_runtime(
+            updates_applied=ckpt.updates_applied if ckpt is not None else 0,
+            max_timestamp=watermark,
+        )
+
+        # 3. replay the post-checkpoint suffix: batches retrain, evicts
+        #    pop (their deadletters were the dead process's, not ours)
+        replayed_events = 0
+        replayed_batches = 0
+        with service.resilience_suspended():
+            for record in records:
+                if record.seq <= base_seq:
+                    continue
+                if record.kind == "accept":
+                    fifo.append(record.edge)
+                    replayed_events += 1
+                elif record.kind == "evict":
+                    if not fifo or fifo[0] != record.edge:
+                        raise RecoveryError(
+                            f"evict record #{record.seq} does not match the "
+                            "queue head during suffix replay"
+                        )
+                    fifo.pop(0)
+                else:
+                    if record.count > len(fifo):
+                        raise RecoveryError(
+                            f"batch record #{record.seq} dispatches "
+                            f"{record.count} events but only {len(fifo)} "
+                            "are buffered during suffix replay"
+                        )
+                    chunk, fifo = fifo[: record.count], fifo[record.count :]
+                    service.apply_recovered_batch(EdgeStream(chunk))
+                    replayed_batches += 1
+        if fifo:
+            service.queue.preload(fifo)
+        # accepted-event accounting continues across process lives: every
+        # accept record in the log was an acceptance this service inherits
+        service.queue.accepted = sum(1 for r in records if r.kind == "accept")
+        service.metrics.counter("ingest.accepted").set(service.queue.accepted)
+        service.metrics.gauge("queue.pending").set(service.queue.pending)
+        service.metrics.counter("recovery.replayed_events").inc(replayed_events)
+    return RecoveryResult(
+        service=service,
+        checkpoint_seq=base_seq,
+        replayed_events=replayed_events,
+        replayed_batches=replayed_batches,
+        residue_events=len(fifo),
+        torn_records_dropped=wal_scan.dropped_records,
+        recovery_seconds=timer.elapsed,
+    )

@@ -1,0 +1,235 @@
+"""Append-only, CRC-checksummed write-ahead log of queue decisions.
+
+Durability for the online learner comes from journaling the
+:class:`~repro.serve.ingest.EventQueue`'s *decision log*, not its
+outcome: every accepted event (``accept``), every ``drop_oldest``
+eviction (``evict``) and every micro-batch hand-off (``batch``) is
+appended **before** the corresponding state change happens.  Replaying
+the log therefore reconstructs the exact FIFO evolution of the queue —
+including the exact micro-batch boundaries the trainer saw — which is
+what makes crash recovery (:mod:`repro.resilience.recovery`) bitwise
+identical to an uninterrupted run.
+
+Format: one JSON record per line, smallest-possible canonical encoding
+(sorted keys, no whitespace) with a ``crc`` field holding the CRC-32 of
+the canonical record body.  Sequence numbers are contiguous from 1; a
+gap, a failed checksum or an unterminated final line marks the end of
+the valid prefix.  A torn tail — the partially-flushed final record of
+a crashed process — is *detected and dropped*, never fatal: opening the
+log truncates it back to the valid prefix and appends from there.
+
+Timestamps survive the JSON round-trip bit-exactly: ``json`` emits the
+shortest ``repr`` that parses back to the identical IEEE-754 double.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import IO, List, Optional
+
+from repro.graph.streams import StreamEdge
+
+#: record kinds a WAL may contain, in the queue's own vocabulary
+WAL_KINDS = ("accept", "evict", "batch")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One journaled queue decision.
+
+    ``edge`` is set for ``accept``/``evict`` records; ``count`` is the
+    micro-batch size for ``batch`` records.
+    """
+
+    seq: int
+    kind: str
+    edge: Optional[StreamEdge] = None
+    count: int = 0
+
+
+@dataclass
+class WalScan:
+    """The valid prefix of a log file plus what was dropped after it."""
+
+    records: List[WalRecord] = field(default_factory=list)
+    #: byte length of the valid prefix (truncation point for repair)
+    valid_bytes: int = 0
+    #: records after the valid prefix (torn tail / corruption), dropped
+    dropped_records: int = 0
+
+    @property
+    def last_seq(self) -> int:
+        return self.records[-1].seq if self.records else 0
+
+
+def _canonical(body: dict) -> bytes:
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _encode(record: WalRecord) -> bytes:
+    body: dict = {"kind": record.kind, "seq": int(record.seq)}
+    if record.edge is not None:
+        body["u"] = int(record.edge.u)
+        body["v"] = int(record.edge.v)
+        body["et"] = str(record.edge.edge_type)
+        body["t"] = float(record.edge.t)
+    if record.kind == "batch":
+        body["n"] = int(record.count)
+    canonical = _canonical(body)
+    crc = zlib.crc32(canonical) & 0xFFFFFFFF
+    wrapped = dict(body)
+    wrapped["crc"] = crc
+    return _canonical(wrapped) + b"\n"
+
+
+def _decode(line: bytes) -> Optional[WalRecord]:
+    """Parse one journal line; ``None`` for anything invalid."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(payload, dict) or "crc" not in payload:
+        return None
+    crc = payload.pop("crc")
+    if crc != zlib.crc32(_canonical(payload)) & 0xFFFFFFFF:
+        return None
+    kind = payload.get("kind")
+    seq = payload.get("seq")
+    if kind not in WAL_KINDS or not isinstance(seq, int) or seq < 1:
+        return None
+    edge: Optional[StreamEdge] = None
+    count = 0
+    if kind in ("accept", "evict"):
+        try:
+            edge = StreamEdge(
+                int(payload["u"]),
+                int(payload["v"]),
+                str(payload["et"]),
+                float(payload["t"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+    else:
+        count = payload.get("n")
+        if not isinstance(count, int) or count < 1:
+            return None
+    return WalRecord(seq=seq, kind=kind, edge=edge, count=count)
+
+
+def scan(path: str) -> WalScan:
+    """Read the valid record prefix of ``path`` (missing file: empty).
+
+    Scanning stops at the first unterminated, unparsable, checksum-
+    failing or out-of-sequence line; everything from there on counts as
+    dropped.  This is the torn-tail tolerance contract: a crash mid-
+    append loses at most the record being written, never the log.
+    """
+    result = WalScan()
+    if not os.path.exists(path):
+        return result
+    with open(path, "rb") as fh:
+        data = fh.read()
+    offset = 0
+    expected_seq = 1
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            result.dropped_records += 1  # unterminated final record
+            break
+        record = _decode(data[offset:newline])
+        if record is None or record.seq != expected_seq:
+            result.dropped_records += sum(
+                1 for piece in data[offset:].split(b"\n") if piece
+            )
+            break
+        result.records.append(record)
+        expected_seq += 1
+        offset = newline + 1
+        result.valid_bytes = offset
+    return result
+
+
+class WriteAheadLog:
+    """Appender over one journal file, self-repairing on open.
+
+    Parameters
+    ----------
+    path:
+        Journal file; parent directories are created, an existing file
+        is scanned and truncated back to its valid prefix so appends
+        continue the sequence.
+    fsync:
+        ``True`` forces an ``os.fsync`` after every append (durability
+        against OS crash, not just process crash).  Default off: the
+        per-record flush already survives process death.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; appends
+        increment ``wal.appends`` and a repaired torn tail increments
+        ``wal.torn_records_dropped``.
+    """
+
+    def __init__(self, path: str, fsync: bool = False, metrics=None):
+        self.path = path
+        self.fsync = fsync
+        self._metrics = metrics
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        recovered = scan(path)
+        self.last_seq = recovered.last_seq
+        self.torn_records_dropped = recovered.dropped_records
+        if os.path.exists(path) and recovered.valid_bytes < os.path.getsize(path):
+            with open(path, "r+b") as fh:
+                fh.truncate(recovered.valid_bytes)
+        if metrics is not None and self.torn_records_dropped:
+            metrics.counter("wal.torn_records_dropped").inc(
+                self.torn_records_dropped
+            )
+        self._fh: Optional[IO[bytes]] = open(path, "ab")
+
+    # ------------------------------------------------------------- appending
+
+    def append_accept(self, edge: StreamEdge) -> WalRecord:
+        """Journal one accepted event (call *before* buffering it)."""
+        return self._append(WalRecord(self.last_seq + 1, "accept", edge))
+
+    def append_evict(self, edge: StreamEdge) -> WalRecord:
+        """Journal a ``drop_oldest`` eviction (call *before* popping)."""
+        return self._append(WalRecord(self.last_seq + 1, "evict", edge))
+
+    def append_batch(self, count: int) -> WalRecord:
+        """Journal a micro-batch hand-off of ``count`` buffered events."""
+        if count < 1:
+            raise ValueError(f"batch count must be >= 1, got {count}")
+        return self._append(WalRecord(self.last_seq + 1, "batch", count=count))
+
+    def _append(self, record: WalRecord) -> WalRecord:
+        if self._fh is None:
+            raise ValueError("write-ahead log is closed")
+        self._fh.write(_encode(record))
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self.last_seq = record.seq
+        if self._metrics is not None:
+            self._metrics.counter("wal.appends").inc()
+        return record
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def closed(self) -> bool:
+        return self._fh is None
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -11,19 +11,28 @@ occasionally malformed.  The :class:`EventQueue` absorbs both:
 * malformed events (unknown edge type, out-of-range ids, non-finite
   timestamps, ...) never reach the model: a validator rejects them into
   a bounded deadletter buffer with the reason preserved;
+* events arriving *too far* behind the accepted-timestamp watermark are
+  deadlettered as ``"late event"`` when a ``late_tolerance`` is set —
+  the engine's replay/RNG contract assumes batches are cut from a
+  near-ordered stream, so stale stragglers must not silently reorder it;
 * when updates cannot keep up, the queue exerts **backpressure** at
   ``capacity``: raise to the producer, shed the new event, or evict the
   oldest buffered one, per the configured overflow policy.
 
 Dispatch can be paused (``pause()``/``resume()``) so a service can defer
 updates — e.g. while degraded — and drain later with :meth:`flush`.
+
+For durability, a ``journal`` hook receives every queue *decision*
+(``accept`` / ``evict`` / ``batch``) **before** the matching state
+change — the write-ahead ordering :mod:`repro.resilience.wal` needs to
+replay the queue bit-exactly after a crash.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.graph.streams import EdgeStream, StreamEdge
 
@@ -32,6 +41,8 @@ OVERFLOW_POLICIES = ("raise", "drop_new", "drop_oldest")
 
 Validator = Callable[[StreamEdge], Optional[str]]
 BatchHandler = Callable[[EdgeStream], None]
+#: journal hook: (kind, edge-or-None, batch size) — see module docstring
+Journal = Callable[[str, Optional[StreamEdge], int], None]
 
 
 class BackpressureError(RuntimeError):
@@ -65,6 +76,16 @@ class EventQueue:
     max_deadletters:
         Deadletter entries retained (oldest evicted first); rejection
         *counts* are never truncated.
+    late_tolerance:
+        Maximum allowed timestamp regression behind the accepted-event
+        watermark; older events deadletter as ``"late event"``.  ``None``
+        (default) accepts any ordering.
+    journal:
+        Write-ahead hook called with every queue decision before it
+        takes effect: ``("accept", edge, 0)``, ``("evict", edge, 0)``,
+        ``("batch", None, size)``.  An exception from the hook aborts
+        the decision (the event is not accepted), keeping the journal
+        strictly ahead of the state.
     """
 
     def __init__(
@@ -75,6 +96,8 @@ class EventQueue:
         validator: Optional[Validator] = None,
         overflow: str = "raise",
         max_deadletters: int = 1024,
+        late_tolerance: Optional[float] = None,
+        journal: Optional[Journal] = None,
     ):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -86,16 +109,27 @@ class EventQueue:
             raise ValueError(
                 f"overflow must be one of {OVERFLOW_POLICIES}, got {overflow!r}"
             )
+        if late_tolerance is not None and late_tolerance < 0:
+            raise ValueError(
+                f"late_tolerance must be >= 0 or None, got {late_tolerance}"
+            )
         self._handler = handler
         self.batch_size = batch_size
         self.capacity = capacity
         self._validator = validator
         self.overflow = overflow
         self.max_deadletters = max_deadletters
+        self.late_tolerance = late_tolerance
+        self._journal = journal
         self._buffer: List[StreamEdge] = []
         self._lock = threading.RLock()
         self._paused = False
         self.deadletters: List[DeadLetter] = []
+        #: rejection tallies bucketed by reason category (the part of the
+        #: reason before the first ":"), never truncated
+        self.reason_counts: Dict[str, int] = {}
+        #: highest timestamp among accepted events (the late watermark)
+        self.max_timestamp = float("-inf")
         self.accepted = 0
         self.rejected = 0
         self.dropped = 0
@@ -138,6 +172,16 @@ class EventQueue:
                 if reason is not None:
                     self._dead_letter(edge, reason)
                     return False
+            if (
+                self.late_tolerance is not None
+                and edge.t < self.max_timestamp - self.late_tolerance
+            ):
+                self._dead_letter(
+                    edge,
+                    f"late event: t={edge.t!r} more than {self.late_tolerance!r} "
+                    f"behind watermark {self.max_timestamp!r}",
+                )
+                return False
             if len(self._buffer) >= self.capacity:
                 if self.overflow == "raise":
                     raise BackpressureError(
@@ -147,10 +191,16 @@ class EventQueue:
                 if self.overflow == "drop_new":
                     self._dead_letter(edge, "backpressure: queue at capacity")
                     return False
+                if self._journal is not None:
+                    self._journal("evict", self._buffer[0], 0)
                 evicted = self._buffer.pop(0)
                 self._dead_letter(evicted, "backpressure: evicted oldest")
+            if self._journal is not None:
+                self._journal("accept", edge, 0)
             self._buffer.append(edge)
             self.accepted += 1
+            if edge.t > self.max_timestamp:
+                self.max_timestamp = float(edge.t)
             self._dispatch_ready()
             return True
 
@@ -166,25 +216,58 @@ class EventQueue:
                 drained += self._dispatch_one(min(self.batch_size, len(self._buffer)))
             return drained
 
+    # ------------------------------------------------------- recovery support
+
+    def buffered(self) -> Tuple[StreamEdge, ...]:
+        """Snapshot of not-yet-dispatched events, oldest first."""
+        with self._lock:
+            return tuple(self._buffer)
+
+    def preload(self, edges: Iterable[StreamEdge]) -> None:
+        """Restore recovered, already-journaled events into the buffer.
+
+        Skips validation, journaling and dispatch: the caller
+        (:mod:`repro.resilience.recovery`) replays events whose
+        acceptance was already journaled and validated in a previous
+        process life.
+        """
+        with self._lock:
+            for edge in edges:
+                self._buffer.append(edge)
+                self.accepted += 1
+                if edge.t > self.max_timestamp:
+                    self.max_timestamp = float(edge.t)
+
+    def dead_letter(self, edge: StreamEdge, reason: str) -> None:
+        """Deadletter an event on the owner's behalf (e.g. a batch whose
+        update failed after it left the buffer)."""
+        with self._lock:
+            self._dead_letter(edge, reason)
+
     # --------------------------------------------------------------- internals
 
     def _dispatch_ready(self) -> None:
-        if self._paused:
-            return
-        while len(self._buffer) >= self.batch_size:
+        # re-check pause each round: a handler (e.g. a tripped circuit
+        # breaker) may pause the queue mid-drain
+        while not self._paused and len(self._buffer) >= self.batch_size:
             self._dispatch_one(self.batch_size)
 
     def _dispatch_one(self, size: int) -> int:
+        if self._journal is not None:
+            self._journal("batch", None, size)
         batch, self._buffer = self._buffer[:size], self._buffer[size:]
         self.batches_dispatched += 1
         self._handler(EdgeStream(batch))
         return len(batch)
 
     def _dead_letter(self, edge: StreamEdge, reason: str) -> None:
+        category = reason.split(":", 1)[0]
+        self.reason_counts[category] = self.reason_counts.get(category, 0) + 1
         if reason.startswith("backpressure"):
             self.dropped += 1
         else:
             self.rejected += 1
         self.deadletters.append(DeadLetter(edge, reason))
-        if len(self.deadletters) > self.max_deadletters:
-            del self.deadletters[: -self.max_deadletters]
+        overflow = len(self.deadletters) - self.max_deadletters
+        if overflow > 0:
+            del self.deadletters[:overflow]

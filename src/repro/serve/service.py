@@ -25,8 +25,10 @@ answers equal the offline ranking pipeline exactly.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, Optional, Union
 
 import numpy as np
 
@@ -36,7 +38,7 @@ from repro.datasets.base import Dataset
 from repro.graph.streams import EdgeStream, StreamEdge
 from repro.obs.trace import NullTracer, Tracer, make_tracer
 from repro.serve.index import TopKIndex
-from repro.serve.ingest import EventQueue
+from repro.serve.ingest import BackpressureError, EventQueue
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.store import VersionedEmbeddingStore
 
@@ -59,6 +61,17 @@ class ServeConfig:
     store_block_size: int = 256  # rows per copy-on-write block
     compact_every: int = 64  # defragment the store every N publishes; 0 = never
     score_block: int = 512  # candidate rows per scoring matmul
+    # --- resilience (repro.resilience); all off by default -----------------
+    wal_path: Optional[str] = None  # journal accepted events/batches here
+    wal_fsync: bool = False  # fsync every WAL append (OS-crash durability)
+    checkpoint_dir: Optional[str] = None  # atomic state snapshots live here
+    checkpoint_every: int = 0  # checkpoint every N applied updates; 0 = never
+    checkpoint_retain: int = 3  # newest checkpoints kept on disk
+    late_tolerance: Optional[float] = None  # deadletter events older than this
+    ingest_retries: int = 3  # ingest_with_retry backpressure budget
+    ingest_backoff_seconds: float = 0.001  # base of the exponential backoff
+    breaker_threshold: int = 3  # consecutive update failures to trip; 0 = never
+    breaker_cooldown_events: int = 64  # ingests while open before a probe
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -71,6 +84,32 @@ class ServeConfig:
             raise ValueError(
                 f"capacity ({self.capacity}) must be >= batch_size "
                 f"({self.batch_size})"
+            )
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.checkpoint_retain < 1:
+            raise ValueError(
+                f"checkpoint_retain must be >= 1, got {self.checkpoint_retain}"
+            )
+        if self.ingest_retries < 0:
+            raise ValueError(
+                f"ingest_retries must be >= 0, got {self.ingest_retries}"
+            )
+        if self.ingest_backoff_seconds < 0:
+            raise ValueError(
+                "ingest_backoff_seconds must be >= 0, got "
+                f"{self.ingest_backoff_seconds}"
+            )
+        if self.breaker_threshold < 0:
+            raise ValueError(
+                f"breaker_threshold must be >= 0, got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown_events < 1:
+            raise ValueError(
+                "breaker_cooldown_events must be >= 1, got "
+                f"{self.breaker_cooldown_events}"
             )
 
 
@@ -103,6 +142,7 @@ class RecommendationService:
         config: Optional[ServeConfig] = None,
         train_config: Optional[InsLearnConfig] = None,
         trace: Union[bool, Tracer, NullTracer] = False,
+        initial_clock: float = 0.0,
     ):
         self.config = config or ServeConfig()
         self.dataset = dataset
@@ -148,7 +188,9 @@ class RecommendationService:
             "ingest.accepted",
             "ingest.rejected",
             "ingest.dropped",
+            "ingest.late",
             "updates.applied",
+            "updates.failed",
             "cache.hits",
             "cache.misses",
             "cache.invalidated",
@@ -156,15 +198,50 @@ class RecommendationService:
             "store.compactions",
             "serve.recommendations",
             "serve.stale_serves",
+            "wal.appends",
+            "wal.torn_records_dropped",
+            "checkpoint.writes",
+            "checkpoint.fallbacks",
+            "recovery.replayed_events",
+            "breaker.opened",
         ):
             self.metrics.counter(name)
-        for name in ("queue.pending", "store.version", "staleness.events_behind"):
+        for name in (
+            "queue.pending",
+            "store.version",
+            "staleness.events_behind",
+            "breaker.state",
+        ):
             self.metrics.gauge(name)
         for name in ("latency.recommend_seconds", "latency.update_seconds"):
             self.metrics.histogram(name)
-        self._clock = 0.0  # latest applied event timestamp
+        self._clock = float(initial_clock)  # latest applied event timestamp
         self._update_in_flight = False
         self._updates_applied = 0
+        # --- resilience wiring (function-level imports keep repro.serve
+        # importable on its own and avoid a serve <-> resilience cycle)
+        self.wal = None
+        self.checkpoints = None
+        self._resilience_suspended = False
+        self._consecutive_update_failures = 0
+        self._breaker_open = False
+        self._breaker_cooldown = 0
+        if self.config.wal_path is not None:
+            from repro.resilience.wal import WriteAheadLog
+
+            self.wal = WriteAheadLog(
+                self.config.wal_path,
+                fsync=self.config.wal_fsync,
+                metrics=self.metrics,
+            )
+        if self.config.checkpoint_dir is not None:
+            from repro.resilience.checkpoint import CheckpointManager
+
+            self.checkpoints = CheckpointManager(
+                self.config.checkpoint_dir,
+                retain=self.config.checkpoint_retain,
+                metrics=self.metrics,
+            )
 
         all_nodes = np.arange(dataset.num_nodes, dtype=np.int64)
         self.store = VersionedEmbeddingStore(
@@ -185,6 +262,8 @@ class RecommendationService:
             capacity=self.config.capacity,
             validator=self._validate_event,
             overflow=self.config.overflow,
+            late_tolerance=self.config.late_tolerance,
+            journal=self._journal_decision if self.wal is not None else None,
         )
         # Eq. 14 embeddings depend on wall-clock time (and alpha) only
         # when decay-at-inference is on; then every row must be
@@ -197,36 +276,77 @@ class RecommendationService:
     # ------------------------------------------------------------------ intake
 
     def _validate_event(self, edge: StreamEdge) -> Optional[str]:
-        """Reject events the model could not apply (deadletter reason)."""
+        """Reject events the model could not apply (deadletter reason).
+
+        Reasons are prefixed ``"malformed: "`` so the queue's
+        ``reason_counts`` buckets them under one category the chaos
+        harness can reconcile against.
+        """
         try:
             u, v = int(edge.u), int(edge.v)
         except (TypeError, ValueError):
-            return f"non-integer node ids ({edge.u!r}, {edge.v!r})"
+            return f"malformed: non-integer node ids ({edge.u!r}, {edge.v!r})"
         n = self.dataset.num_nodes
         if not (0 <= u < n and 0 <= v < n):
-            return f"node id outside universe of {n} nodes"
+            return f"malformed: node id outside universe of {n} nodes"
         try:
             self.dataset.schema.edge_type_id(edge.edge_type)
         except (KeyError, ValueError):
-            return f"unknown edge type {edge.edge_type!r}"
+            return f"malformed: unknown edge type {edge.edge_type!r}"
         if not np.isfinite(edge.t):
-            return f"non-finite timestamp {edge.t!r}"
+            return f"malformed: non-finite timestamp {edge.t!r}"
         return None
 
     def ingest(self, edge: StreamEdge) -> bool:
         """Offer one interaction event; True when accepted for learning.
 
         A full micro-batch triggers an update + snapshot publish inline;
-        malformed or shed events return False (see ``deadletters``).
+        malformed, late or shed events return False (see
+        ``deadletters``).  While the circuit breaker is open, events
+        keep buffering (bounded-stale serving) and every ingest counts
+        toward the cooldown that triggers a half-open probe.
         """
+        if self._breaker_open:
+            self._breaker_cooldown -= 1
+            if self._breaker_cooldown <= 0:
+                self._probe_breaker()
         with self.tracer.span("serve.service.ingest"):
             accepted = self.queue.put(edge)
         counters = self.metrics
         counters.counter("ingest.accepted").set(self.queue.accepted)
         counters.counter("ingest.rejected").set(self.queue.rejected)
         counters.counter("ingest.dropped").set(self.queue.dropped)
+        counters.counter("ingest.late").set(
+            self.queue.reason_counts.get("late event", 0)
+        )
         counters.gauge("queue.pending").set(self.queue.pending)
         return accepted
+
+    def ingest_with_retry(
+        self,
+        edge: StreamEdge,
+        retries: Optional[int] = None,
+        backoff_seconds: Optional[float] = None,
+    ) -> bool:
+        """:meth:`ingest` with exponential-backoff retries on backpressure.
+
+        Only meaningful under the ``"raise"`` overflow policy with a
+        concurrent drainer (another thread flushing or resuming the
+        queue); after the retry budget is exhausted the final
+        :class:`~repro.serve.ingest.BackpressureError` propagates.
+        """
+        retries = self.config.ingest_retries if retries is None else retries
+        if backoff_seconds is None:
+            backoff_seconds = self.config.ingest_backoff_seconds
+        attempt = 0
+        while True:
+            try:
+                return self.ingest(edge)
+            except BackpressureError:
+                if attempt >= retries:
+                    raise
+                time.sleep(backoff_seconds * (2.0 ** attempt))
+                attempt += 1
 
     def flush(self) -> int:
         """Drain every buffered event through updates; returns the count.
@@ -247,38 +367,172 @@ class RecommendationService:
     # ----------------------------------------------------------------- updates
 
     def _apply_batch(self, batch: EdgeStream) -> None:
-        """One background InsLearn step + atomic snapshot publication."""
+        """One background InsLearn step + atomic snapshot publication.
+
+        A failing update never poisons the ingest path: the batch is
+        deadlettered (reason ``"update failure: ..."``), the failure
+        counted, and after ``breaker_threshold`` consecutive failures
+        the circuit breaker opens — dispatch pauses and the service
+        degrades to bounded-stale reads until a cooldown probe.
+        """
         self._update_in_flight = True
         try:
             with self.tracer.span("serve.service.update", events=len(batch)):
                 with self.metrics.histogram("latency.update_seconds").time():
-                    report = self.trainer.train_one_batch(
-                        batch, batch_index=self._updates_applied
-                    )
-                    self._clock = max(self._clock, float(batch[len(batch) - 1].t))
-                    if self._full_refresh:
-                        rows = np.arange(self.dataset.num_nodes, dtype=np.int64)
-                    else:
-                        # touched_nodes is a sorted tuple by contract
-                        rows = np.asarray(report.touched_nodes, dtype=np.int64)
-                    with self.tracer.span("serve.store.publish", rows=int(rows.size)):
-                        snapshot = self.store.publish(
-                            rows,
-                            self.model.final_embeddings(
-                                rows, self.edge_type, self._clock
-                            ),
-                        )
-                    touched = set(int(r) for r in rows)
-                    with self.tracer.span("serve.index.invalidate"):
-                        self.index.invalidate(snapshot, touched, touched)
+                    try:
+                        snapshot = self._train_and_publish(batch)
+                    except Exception as exc:
+                        # breaker boundary: record + degrade, never raise
+                        # into the producer's ingest call
+                        self._register_update_failure(batch, exc)
+                        return
             self._updates_applied += 1
+            self._consecutive_update_failures = 0
             self.metrics.counter("updates.applied").set(self._updates_applied)
             self.metrics.counter("cache.invalidated").set(self.index.invalidations)
             self.metrics.counter("cache.evictions").set(self.index.evictions)
             self.metrics.counter("store.compactions").set(self.store.compactions)
             self.metrics.gauge("store.version").set(snapshot.version)
+            self._maybe_checkpoint()
         finally:
             self._update_in_flight = False
+
+    def _train_and_publish(self, batch: EdgeStream):
+        """The transactional core of one update; returns the snapshot."""
+        report = self.trainer.train_one_batch(
+            batch, batch_index=self._updates_applied
+        )
+        self._clock = max(self._clock, float(batch[len(batch) - 1].t))
+        if self._full_refresh:
+            rows = np.arange(self.dataset.num_nodes, dtype=np.int64)
+        else:
+            # touched_nodes is a sorted tuple by contract
+            rows = np.asarray(report.touched_nodes, dtype=np.int64)
+        with self.tracer.span("serve.store.publish", rows=int(rows.size)):
+            snapshot = self.store.publish(
+                rows,
+                self.model.final_embeddings(rows, self.edge_type, self._clock),
+            )
+        touched = set(int(r) for r in rows)
+        with self.tracer.span("serve.index.invalidate"):
+            self.index.invalidate(snapshot, touched, touched)
+        return snapshot
+
+    def _register_update_failure(self, batch: EdgeStream, exc: Exception) -> None:
+        """Deadletter a failed batch; trip the breaker at the threshold."""
+        self._consecutive_update_failures += 1
+        self.metrics.counter("updates.failed").inc()
+        reason = f"update failure: {type(exc).__name__}: {exc}"
+        for edge in batch:
+            self.queue.dead_letter(edge, reason)
+        threshold = self.config.breaker_threshold
+        if (
+            threshold
+            and self._consecutive_update_failures >= threshold
+            and not self._breaker_open
+        ):
+            self._breaker_open = True
+            self._breaker_cooldown = self.config.breaker_cooldown_events
+            self.queue.pause()
+            self.metrics.counter("breaker.opened").inc()
+            self.metrics.gauge("breaker.state").set(1.0)
+
+    def _probe_breaker(self) -> None:
+        """Half-open: re-enable dispatch; the next failure re-opens."""
+        self._breaker_open = False
+        self.metrics.gauge("breaker.state").set(0.0)
+        self.queue.resume()
+
+    @property
+    def breaker_open(self) -> bool:
+        """True while the update circuit breaker has dispatch paused."""
+        return self._breaker_open
+
+    # -------------------------------------------------------------- durability
+
+    def _journal_decision(
+        self, kind: str, edge: Optional[StreamEdge], count: int
+    ) -> None:
+        """EventQueue journal hook → WAL append (write-ahead of state)."""
+        if self._resilience_suspended:
+            return
+        if kind == "accept":
+            self.wal.append_accept(edge)
+        elif kind == "evict":
+            self.wal.append_evict(edge)
+        else:
+            self.wal.append_batch(count)
+
+    def _maybe_checkpoint(self) -> None:
+        every = self.config.checkpoint_every
+        if (
+            self.checkpoints is None
+            or self._resilience_suspended
+            or every < 1
+            or self._updates_applied % every != 0
+        ):
+            return
+        self.checkpoint()
+
+    def checkpoint(self) -> Optional[str]:
+        """Write one atomic checkpoint now; returns its path.
+
+        ``None`` when no ``checkpoint_dir`` is configured.  The snapshot
+        is keyed to the WAL position (``wal.last_seq``) so recovery can
+        replay exactly the suffix this checkpoint has not seen.
+        """
+        if self.checkpoints is None:
+            return None
+        from repro.resilience.checkpoint import Checkpoint
+
+        ckpt = Checkpoint(
+            seq=self.wal.last_seq if self.wal is not None else 0,
+            updates_applied=self._updates_applied,
+            clock=self._clock,
+            residue=list(self.queue.buffered()),
+            model_state=self.model.state_dict(),
+            model_rng_state=self.model.rng.bit_generator.state,
+            trainer_rng_state=self.trainer.rng_state(),
+            num_nodes=self.dataset.num_nodes,
+        )
+        return self.checkpoints.save(ckpt)
+
+    def restore_runtime(self, *, updates_applied: int, max_timestamp: float) -> None:
+        """Adopt progress restored from a checkpoint.
+
+        Called by :func:`repro.resilience.recovery.recover` before
+        replaying the WAL suffix so ``batch_index`` and the late-event
+        watermark continue where the crashed process stopped.
+        """
+        self._updates_applied = int(updates_applied)
+        self.metrics.counter("updates.applied").set(self._updates_applied)
+        if max_timestamp > self.queue.max_timestamp:
+            self.queue.max_timestamp = float(max_timestamp)
+
+    def apply_recovered_batch(self, batch: EdgeStream) -> None:
+        """Re-run one journaled micro-batch during WAL replay."""
+        self._apply_batch(batch)
+
+    @contextmanager
+    def resilience_suspended(self) -> Iterator["RecommendationService"]:
+        """Disable WAL journaling and auto-checkpoints within the block.
+
+        Recovery replays records that already exist in the log;
+        re-journaling them (or checkpointing against a mid-replay WAL
+        position) would corrupt the sequence.
+        """
+        previous = self._resilience_suspended
+        self._resilience_suspended = True
+        try:
+            yield self
+        finally:
+            self._resilience_suspended = previous
+
+    def close(self) -> None:
+        """Release the WAL file handle (a crashed process does this for
+        free; tests and drivers call it before recovering)."""
+        if self.wal is not None:
+            self.wal.close()
 
     # ----------------------------------------------------------------- serving
 

@@ -639,3 +639,108 @@ class TestFramework:
         assert lines == sorted(lines)
         formatted = result.violations[0].format()
         assert "core/foo.py" in formatted and "[explicit-dtype]" in formatted
+
+
+# ------------------------------------------------------- exception-discipline
+
+
+class TestExceptionDiscipline:
+    def test_bare_except_fires(self, lint):
+        result = lint(
+            {
+                "src/repro/serve/foo.py": """
+                def load(path):
+                    try:
+                        return open(path)
+                    except:
+                        raise RuntimeError("boom")
+                """
+            }
+        )
+        assert rules_hit(result) == ["exception-discipline"]
+        assert "bare `except:`" in result.violations[0].message
+
+    def test_silent_swallow_fires(self, lint):
+        result = lint(
+            {
+                "src/repro/serve/foo.py": """
+                def load(path):
+                    try:
+                        return open(path)
+                    except OSError:
+                        pass
+                """
+            }
+        )
+        assert rules_hit(result) == ["exception-discipline"]
+        assert "swallow" in result.violations[0].message
+
+    def test_docstring_only_body_fires(self, lint):
+        result = lint(
+            {
+                "src/repro/serve/foo.py": """
+                def load(path):
+                    try:
+                        return open(path)
+                    except OSError:
+                        '''best effort'''
+                """
+            }
+        )
+        assert rules_hit(result) == ["exception-discipline"]
+
+    def test_reacting_handlers_are_clean(self, lint):
+        result = lint(
+            {
+                "src/repro/serve/foo.py": """
+                def sweep(paths, log):
+                    out = []
+                    for path in paths:
+                        try:
+                            out.append(open(path))
+                        except FileNotFoundError:
+                            continue
+                        except PermissionError as exc:
+                            log(exc)
+                        except OSError as exc:
+                            raise RuntimeError(path) from exc
+                    return out
+
+                def probe(path, fallback):
+                    try:
+                        return open(path)
+                    except OSError:
+                        result = fallback
+                        return result
+                """
+            }
+        )
+        assert result.ok
+
+    def test_applies_outside_serve_too(self, lint):
+        result = lint(
+            {
+                "src/repro/utils/foo.py": """
+                def coerce(x):
+                    try:
+                        return int(x)
+                    except ValueError:
+                        pass
+                """
+            }
+        )
+        assert rules_hit(result) == ["exception-discipline"]
+
+    def test_suppression_comment_silences(self, lint):
+        result = lint(
+            {
+                "src/repro/serve/foo.py": """
+                def load(path):
+                    try:
+                        return open(path)
+                    except OSError:  # reprolint: disable=exception-discipline
+                        pass
+                """
+            }
+        )
+        assert result.ok

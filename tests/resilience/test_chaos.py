@@ -1,0 +1,141 @@
+"""Tests for the chaos replay harness: plans, injection, reconciliation."""
+
+import pytest
+
+from repro.datasets.zoo import load_dataset
+from repro.resilience.faults import FAULT_KINDS, ChaosReplayDriver, Fault, FaultPlan
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("uci", scale=0.3)
+
+
+class TestFaultPlan:
+    def test_seeded_plan_is_deterministic(self):
+        kwargs = dict(malformed=3, late=2, duplicate=2, burst=1, crash=1)
+        assert FaultPlan.seeded(500, seed=3, **kwargs) == FaultPlan.seeded(
+            500, seed=3, **kwargs
+        )
+        assert FaultPlan.seeded(500, seed=3, **kwargs) != FaultPlan.seeded(
+            500, seed=4, **kwargs
+        )
+
+    def test_positions_are_distinct_sorted_and_injectable(self):
+        plan = FaultPlan.seeded(200, seed=0, malformed=5, late=5, crash=2)
+        positions = [f.position for f in plan.faults]
+        assert positions == sorted(positions)
+        assert len(set((f.position, f.kind) for f in plan.faults)) == len(
+            plan.faults
+        )
+        assert all(1 <= p < 200 for p in positions)
+
+    def test_injection_counts_weigh_bursts(self):
+        plan = FaultPlan(
+            faults=[
+                Fault("malformed", 1),
+                Fault("burst", 2, payload=50),
+                Fault("crash", 3),
+            ]
+        )
+        counts = plan.injection_counts()
+        assert counts["malformed"] == 1
+        assert counts["burst"] == 50
+        assert counts["crash"] == 1
+        assert counts["late"] == 0
+
+    def test_too_many_faults_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.seeded(5, malformed=10)
+
+    def test_parse_spec(self):
+        assert FaultPlan.parse_spec("malformed=4,late=3,crash=1") == {
+            "malformed": 4,
+            "late": 3,
+            "crash": 1,
+        }
+        assert FaultPlan.parse_spec("") == {}
+        assert FaultPlan.parse_spec("none") == {}
+        with pytest.raises(ValueError):
+            FaultPlan.parse_spec("meteor=1")
+        with pytest.raises(ValueError):
+            FaultPlan.parse_spec("late=many")
+        with pytest.raises(ValueError):
+            FaultPlan.parse_spec("late=-1")
+
+
+class TestChaosReplay:
+    @pytest.fixture(scope="class")
+    def report(self, dataset, tmp_path_factory):
+        driver = ChaosReplayDriver(
+            dataset,
+            state_dir=str(tmp_path_factory.mktemp("chaos")),
+            seed=0,
+            max_parity_users=16,
+        )
+        return driver.run()
+
+    def test_all_fault_kinds_injected(self, report):
+        assert set(report.injected) == set(FAULT_KINDS)
+        assert all(report.injected[kind] > 0 for kind in FAULT_KINDS)
+
+    def test_every_fault_is_reconciled(self, report):
+        assert report.mismatches == []
+        assert report.reconciled
+
+    def test_deadletter_buckets_match_injection(self, report):
+        assert report.deadletter_buckets["malformed"] == report.injected["malformed"]
+        assert report.deadletter_buckets["late event"] == report.injected["late"]
+        assert (
+            report.deadletter_buckets.get("backpressure", 0)
+            == report.observed["burst_dropped"]
+        )
+
+    def test_burst_overflows_and_is_fully_accounted(self, report):
+        # the default plan's burst exceeds queue capacity, so some of it
+        # must shed — and every burst event is either accepted or shed
+        assert report.observed["burst_dropped"] > 0
+        assert (
+            report.observed["burst_accepted"] + report.observed["burst_dropped"]
+            == report.injected["burst"]
+        )
+
+    def test_duplicates_are_accepted_not_deduplicated(self, report):
+        assert report.observed["duplicates_accepted"] == report.injected["duplicate"]
+
+    def test_crash_recovers_and_parity_holds(self, report):
+        assert report.observed["recoveries"] == report.injected["crash"]
+        assert report.observed["replayed_events"] > 0
+        assert report.parity_fraction == 1.0
+
+    def test_report_serializes(self, report, tmp_path):
+        path = report.write_json(str(tmp_path / "chaos.json"))
+        import json
+
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["reconciled"] is True
+        assert payload["injected"] == report.injected
+        rows = report.summary_rows()
+        assert ("reconciled", "yes") in rows
+
+    def test_requires_late_tolerance(self, dataset, tmp_path):
+        from repro.serve.service import ServeConfig
+
+        with pytest.raises(ValueError):
+            ChaosReplayDriver(
+                dataset,
+                state_dir=str(tmp_path),
+                serve_config=ServeConfig(batch_size=32, capacity=128),
+            )
+
+    def test_pinned_crash_position(self, dataset, tmp_path):
+        plan = FaultPlan(faults=[Fault("crash", position=80)])
+        driver = ChaosReplayDriver(
+            dataset, state_dir=str(tmp_path), plan=plan, max_parity_users=8
+        )
+        report = driver.run()
+        assert report.reconciled
+        assert report.observed["recoveries"] == 1
+        assert report.observed["replayed_events"] == 80
+        assert report.parity_fraction == 1.0

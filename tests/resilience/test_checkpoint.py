@@ -1,0 +1,137 @@
+"""Tests for atomic checkpoints: roundtrip, retention, corruption fallback."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph.streams import StreamEdge
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointManager,
+    deserialize,
+    serialize,
+)
+from repro.utils.rng import new_rng
+
+
+def make_checkpoint(seq=7, with_residue=True):
+    rng = new_rng(seq)
+    model_rng = new_rng(seq + 1)
+    residue = (
+        [StreamEdge(1, 2, "click", 3.5), StreamEdge(4, 5, "buy", 6.25)]
+        if with_residue
+        else []
+    )
+    return Checkpoint(
+        seq=seq,
+        updates_applied=3,
+        clock=6.25,
+        residue=residue,
+        model_state={
+            "memory": {
+                "long_term": rng.normal(size=(5, 4)),
+                "counts": np.arange(5, dtype=np.int64),
+            },
+            "optimizer": {"m": rng.normal(size=(5, 4))},
+        },
+        model_rng_state=model_rng.bit_generator.state,
+        trainer_rng_state=new_rng(seq + 2).bit_generator.state,
+        num_nodes=5,
+    )
+
+
+def assert_same(a: Checkpoint, b: Checkpoint):
+    assert a.seq == b.seq
+    assert a.updates_applied == b.updates_applied
+    assert a.clock == b.clock
+    assert a.residue == b.residue
+    assert a.num_nodes == b.num_nodes
+    assert a.model_rng_state == b.model_rng_state
+    assert a.trainer_rng_state == b.trainer_rng_state
+    for section in a.model_state:
+        for key, value in a.model_state[section].items():
+            restored = b.model_state[section][key]
+            assert restored.dtype == value.dtype
+            assert restored.tobytes() == value.tobytes()  # bitwise
+
+
+class TestSerialization:
+    def test_roundtrip_is_bitwise(self):
+        ckpt = make_checkpoint()
+        assert_same(ckpt, deserialize(serialize(ckpt)))
+
+    def test_empty_residue_roundtrips(self):
+        ckpt = make_checkpoint(with_residue=False)
+        assert deserialize(serialize(ckpt)).residue == []
+
+    def test_truncated_payload_detected(self):
+        data = serialize(make_checkpoint())
+        with pytest.raises(CheckpointError):
+            deserialize(data[:-20])
+
+    def test_header_bitflip_detected(self):
+        data = bytearray(serialize(make_checkpoint()))
+        # flip a byte inside the meta section of the header line
+        data[data.find(b'"seq"') + 8] ^= 0x01
+        with pytest.raises(CheckpointError):
+            deserialize(bytes(data))
+
+    def test_payload_bitflip_detected(self):
+        data = bytearray(serialize(make_checkpoint()))
+        data[-10] ^= 0xFF
+        with pytest.raises(CheckpointError):
+            deserialize(bytes(data))
+
+    def test_non_array_state_leaf_rejected(self):
+        ckpt = make_checkpoint()
+        ckpt.model_state["memory"]["oops"] = [1, 2, 3]
+        with pytest.raises(CheckpointError):
+            serialize(ckpt)
+
+
+class TestManager:
+    def test_save_load_latest(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        path = manager.save(make_checkpoint(seq=4))
+        assert os.path.exists(path)
+        assert_same(make_checkpoint(seq=4), manager.latest())
+
+    def test_atomic_write_leaves_no_tmp_files(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        manager.save(make_checkpoint(seq=1))
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), retain=2)
+        for seq in (1, 2, 3, 4):
+            manager.save(make_checkpoint(seq=seq))
+        assert len(manager.paths()) == 2
+        assert manager.latest().seq == 4
+
+    def test_latest_falls_back_past_corruption(self, tmp_path):
+        from repro.serve.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        manager = CheckpointManager(str(tmp_path), metrics=metrics)
+        manager.save(make_checkpoint(seq=1))
+        newest = manager.save(make_checkpoint(seq=2))
+        with open(newest, "r+b") as fh:  # corrupt the newest in place
+            fh.seek(30)
+            fh.write(b"\xff\xff\xff")
+        assert manager.latest().seq == 1
+        assert manager.fallbacks == 1
+        assert metrics.counter("checkpoint.fallbacks").value == 1
+
+    def test_latest_none_when_empty_or_all_corrupt(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        assert manager.latest() is None
+        bad = tmp_path / f"ckpt-{1:012d}.ckpt"
+        bad.write_bytes(b"not a checkpoint")
+        assert manager.latest() is None
+        assert manager.fallbacks == 1
+
+    def test_invalid_retain_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(str(tmp_path), retain=0)

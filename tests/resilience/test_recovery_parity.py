@@ -1,0 +1,189 @@
+"""Crash-recovery parity: recovered runs are bitwise identical.
+
+The golden-parity discipline of ``tests/core/test_engine_parity.py``
+applied to crash recovery: for several crash points (including one
+before the first checkpoint, so recovery is WAL-only) the crashed +
+recovered + resumed run must end with exactly the golden run's model
+state, RNG streams, clock and served top-K lists.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import SUPAConfig
+from repro.core.inslearn import InsLearnConfig
+from repro.core.model import SUPA
+from repro.datasets.zoo import load_dataset
+from repro.resilience import RecoveryError, recover
+from repro.resilience.checkpoint import _flatten
+from repro.serve.service import RecommendationService, ServeConfig
+
+MODEL_CFG = SUPAConfig(dim=16, num_walks=2, walk_length=2, seed=0)
+TRAIN_CFG = InsLearnConfig(
+    batch_size=32,
+    max_iterations=2,
+    validation_interval=1,
+    validation_size=10,
+    patience=1,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("uci", scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def golden(dataset):
+    service = RecommendationService(
+        dataset,
+        model=SUPA.for_dataset(dataset, MODEL_CFG),
+        config=ServeConfig(batch_size=32, capacity=128),
+        train_config=TRAIN_CFG,
+    )
+    for edge in dataset.stream:
+        service.ingest(edge)
+    service.flush()
+    return service
+
+
+def state_bytes(service):
+    flat = {}
+    _flatten(service.model.state_dict(), "", flat)
+    return b"".join(np.ascontiguousarray(flat[k]).tobytes() for k in sorted(flat))
+
+
+def durable_config(tmp_path):
+    return ServeConfig(
+        batch_size=32,
+        capacity=128,
+        wal_path=str(tmp_path / "svc.wal"),
+        checkpoint_dir=str(tmp_path / "ckpts"),
+        checkpoint_every=2,
+    )
+
+
+def crash_at(dataset, config, position):
+    """Run the durable service up to ``position`` events, then die."""
+    service = RecommendationService(
+        dataset,
+        model=SUPA.for_dataset(dataset, MODEL_CFG),
+        config=config,
+        train_config=TRAIN_CFG,
+    )
+    for i, edge in enumerate(dataset.stream):
+        if i == position:
+            break
+        service.ingest(edge)
+    service.close()
+    return service
+
+
+# 3 is before the first checkpoint AND the first batch (WAL-only recovery
+# with residue only); 45 is past one update but before any checkpoint;
+# 150 / 407 recover from a checkpoint plus a WAL suffix.
+@pytest.mark.parametrize("position", [3, 45, 150, 407])
+def test_recovery_is_bitwise_identical(dataset, golden, tmp_path, position):
+    config = durable_config(tmp_path)
+    crash_at(dataset, config, position)
+
+    result = recover(
+        dataset, serve_config=config, model_config=MODEL_CFG, train_config=TRAIN_CFG
+    )
+    service = result.service
+    assert 0 <= result.replayed_events <= position
+    for edge in list(dataset.stream)[position:]:
+        service.ingest(edge)
+    service.flush()
+    service.close()
+
+    assert state_bytes(service) == state_bytes(golden)
+    assert (
+        service.model.rng.bit_generator.state
+        == golden.model.rng.bit_generator.state
+    )
+    assert service.trainer.rng_state() == golden.trainer.rng_state()
+    assert service.clock == golden.clock
+    assert (
+        service.metrics.counter("updates.applied").value
+        == golden.metrics.counter("updates.applied").value
+    )
+    for user in golden.users[:12]:
+        assert np.array_equal(
+            service.recommend(int(user), 10), golden.recommend(int(user), 10)
+        )
+        assert np.array_equal(
+            service.recommend(int(user), 10), service.offline_top_k(int(user), 10)
+        )
+
+
+def test_recovery_accounting(dataset, tmp_path):
+    config = durable_config(tmp_path)
+    victim = crash_at(dataset, config, 150)
+    buffered_at_crash = len(victim.queue.buffered())
+
+    result = recover(
+        dataset, serve_config=config, model_config=MODEL_CFG, train_config=TRAIN_CFG
+    )
+    assert result.checkpoint_seq > 0  # a checkpoint existed by event 150
+    assert result.residue_events == buffered_at_crash
+    assert result.torn_records_dropped == 0
+    assert result.recovery_seconds >= 0.0
+    assert (
+        result.service.metrics.counter("recovery.replayed_events").value
+        == result.replayed_events
+    )
+    # accepted-event accounting continues across the crash
+    assert result.service.queue.accepted == 150
+    result.service.close()
+
+
+def test_recovery_survives_torn_wal_tail(dataset, golden, tmp_path):
+    config = durable_config(tmp_path)
+    crash_at(dataset, config, 100)
+    with open(config.wal_path, "ab") as fh:
+        fh.write(b'{"kind":"accept","seq":9')  # torn mid-append
+
+    result = recover(
+        dataset, serve_config=config, model_config=MODEL_CFG, train_config=TRAIN_CFG
+    )
+    assert result.torn_records_dropped == 1
+    service = result.service
+    for edge in list(dataset.stream)[100:]:
+        service.ingest(edge)
+    service.flush()
+    service.close()
+    assert state_bytes(service) == state_bytes(golden)
+
+
+def test_recovery_without_config_paths_raises(dataset):
+    with pytest.raises(ValueError):
+        recover(dataset, serve_config=ServeConfig(batch_size=32))
+
+
+def test_recovery_with_truncated_wal_raises(dataset, tmp_path):
+    config = durable_config(tmp_path)
+    crash_at(dataset, config, 150)
+    os.truncate(config.wal_path, 0)  # log vanished but checkpoints remain
+    with pytest.raises(RecoveryError):
+        recover(
+            dataset,
+            serve_config=config,
+            model_config=MODEL_CFG,
+            train_config=TRAIN_CFG,
+        )
+
+
+def test_recovery_from_empty_state_is_fresh_service(dataset, tmp_path):
+    config = durable_config(tmp_path)
+    # no run ever happened: no WAL file, empty checkpoint dir
+    result = recover(
+        dataset, serve_config=config, model_config=MODEL_CFG, train_config=TRAIN_CFG
+    )
+    assert result.checkpoint_seq == 0
+    assert result.replayed_events == 0
+    assert result.service.queue.accepted == 0
+    result.service.close()

@@ -148,3 +148,123 @@ class TestPauseResume:
         assert q.flush() == 3
         assert q.pending == 0
         assert q.paused  # flush drains but does not silently resume
+
+
+class TestDeadletterTrimRegression:
+    def test_zero_max_deadletters_keeps_no_letters_but_counts(self):
+        # regression: the trim used ``del deadletters[:-0]`` which is a
+        # no-op, so max_deadletters=0 grew the buffer without bound
+        _, handler = collector()
+        q = EventQueue(
+            handler,
+            batch_size=2,
+            capacity=10,
+            validator=lambda e: "bad",
+            max_deadletters=0,
+        )
+        for i in range(6):
+            q.put(edge(i))
+        assert q.deadletters == []
+        assert q.rejected == 6
+        assert q.reason_counts["bad"] == 6
+
+
+class TestLateEvents:
+    def test_stale_events_are_deadlettered(self):
+        batches, handler = collector()
+        q = EventQueue(handler, batch_size=4, capacity=10, late_tolerance=1.0)
+        assert q.put(edge(0, t=10.0))
+        assert q.put(edge(1, t=9.5))  # within tolerance of watermark 10.0
+        assert not q.put(edge(2, t=8.5))  # more than 1.0 behind
+        assert q.reason_counts["late event"] == 1
+        assert q.deadletters[0].reason.startswith("late event")
+        assert q.deadletters[0].edge.u == 2
+        assert q.accepted == 2 and q.rejected == 1
+
+    def test_watermark_advances_only_on_accepts(self):
+        _, handler = collector()
+        q = EventQueue(handler, batch_size=4, capacity=10, late_tolerance=0.0)
+        q.put(edge(0, t=5.0))
+        assert not q.put(edge(1, t=3.0))
+        assert q.max_timestamp == 5.0  # the rejected event left no trace
+        assert q.put(edge(2, t=7.0))
+        assert q.max_timestamp == 7.0
+
+    def test_none_tolerance_accepts_any_regression(self):
+        _, handler = collector()
+        q = EventQueue(handler, batch_size=4, capacity=10)
+        q.put(edge(0, t=100.0))
+        assert q.put(edge(1, t=0.0))
+        assert q.rejected == 0
+
+    def test_negative_tolerance_rejected(self):
+        _, handler = collector()
+        with pytest.raises(ValueError):
+            EventQueue(handler, late_tolerance=-0.5)
+
+
+class TestConcurrentPut:
+    """Hammer ``put`` from several threads; the ledger must balance."""
+
+    THREADS = 4
+    PER_THREAD = 200
+    CAPACITY = 32
+
+    def hammer(self, overflow):
+        import threading
+
+        batches, handler = collector()
+        q = EventQueue(
+            handler,
+            batch_size=8,
+            capacity=self.CAPACITY,
+            overflow=overflow,
+            max_deadletters=10_000,
+        )
+        q.pause()  # dispatch off: the buffer genuinely fills
+        raised = [0] * self.THREADS
+
+        def worker(tid):
+            for i in range(self.PER_THREAD):
+                try:
+                    q.put(edge(tid * self.PER_THREAD + i, t=float(i)))
+                except BackpressureError:
+                    raised[tid] += 1
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        q.resume()
+        q.flush()
+        dispatched = sum(len(b) for b in batches)
+        return q, sum(raised), dispatched
+
+    def test_raise_policy_conserves_events(self):
+        q, raised, dispatched = self.hammer("raise")
+        offered = self.THREADS * self.PER_THREAD
+        assert raised > 0  # the hammer actually hit capacity
+        assert q.accepted + raised == offered
+        assert dispatched == q.accepted
+        assert q.dropped == 0 and q.rejected == 0
+
+    def test_drop_new_policy_conserves_events(self):
+        q, raised, dispatched = self.hammer("drop_new")
+        offered = self.THREADS * self.PER_THREAD
+        assert raised == 0
+        assert q.dropped > 0
+        assert q.accepted + q.dropped == offered
+        assert dispatched == q.accepted
+        assert len(q.deadletters) == q.dropped
+
+    def test_drop_oldest_policy_conserves_events(self):
+        q, raised, dispatched = self.hammer("drop_oldest")
+        offered = self.THREADS * self.PER_THREAD
+        assert raised == 0
+        assert q.accepted == offered  # every offer is accepted...
+        assert q.dropped == offered - self.CAPACITY  # ...at the old ones' expense
+        assert dispatched + q.pending == q.accepted - q.dropped
+        assert dispatched == self.CAPACITY and q.pending == 0

@@ -167,3 +167,124 @@ class TestServeReplay:
         )
         assert code == 1
         assert "FAIL: parity" in capsys.readouterr().out
+
+
+class TestChaosReplay:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos-replay", "--dataset", "uci"])
+        assert args.batch_size == 32
+        assert args.capacity == 128
+        assert args.crash_at is None
+        assert "crash=1" in args.faults
+        assert args.output.endswith("chaos_replay.json")
+
+    def test_chaos_replay_reconciles_and_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "chaos.json"
+        code = main(
+            [
+                "chaos-replay",
+                "--dataset",
+                "uci",
+                "--scale",
+                "0.2",
+                "--faults",
+                "malformed=2,late=2,duplicate=2,burst=1,crash=1",
+                "--state-dir",
+                str(tmp_path / "state"),
+                "--max-parity-users",
+                "8",
+                "--output",
+                str(out),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "chaos-replay: uci" in captured
+        assert "reconciled" in captured
+        payload = json.loads(out.read_text())
+        assert payload["reconciled"] is True
+        assert payload["mismatches"] == []
+        assert payload["injected"]["crash"] == 1
+        assert payload["observed"]["recoveries"] == 1
+        assert payload["parity_fraction"] >= 0.99
+
+    def test_serve_replay_crash_at_delegates_to_chaos(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve-replay",
+                "--dataset",
+                "uci",
+                "--scale",
+                "0.2",
+                "--batch-size",
+                "32",
+                "--capacity",
+                "128",
+                "--crash-at",
+                "77",
+                "--max-parity-users",
+                "8",
+                "--output",
+                "",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "serve-replay (chaos)" in captured
+        assert "crash_at=77" in captured
+
+    def test_serve_replay_fault_spec_delegates(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve-replay",
+                "--dataset",
+                "uci",
+                "--scale",
+                "0.2",
+                "--batch-size",
+                "32",
+                "--capacity",
+                "128",
+                "--faults",
+                "malformed=2,late=1",
+                "--max-parity-users",
+                "4",
+                "--output",
+                "",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "serve-replay (chaos)" in captured
+
+    def test_bad_fault_spec_exits(self):
+        with pytest.raises((SystemExit, ValueError)):
+            main(
+                [
+                    "chaos-replay",
+                    "--dataset",
+                    "uci",
+                    "--scale",
+                    "0.1",
+                    "--faults",
+                    "meteor=1",
+                    "--output",
+                    "",
+                ]
+            )
+
+    def test_crash_at_out_of_range_exits(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "chaos-replay",
+                    "--dataset",
+                    "uci",
+                    "--scale",
+                    "0.1",
+                    "--crash-at",
+                    "100000",
+                    "--output",
+                    "",
+                ]
+            )
