@@ -21,13 +21,24 @@ from repro.analysis.core import (
     run_lint,
 )
 from repro.analysis.reporters import render_json, render_text, to_dict, write_json
+from repro.analysis.sanitizer import (
+    Audit,
+    LockMonitor,
+    SanitizedLock,
+    default_audits,
+    threadcheck,
+)
 
 __all__ = [
+    "Audit",
     "LintResult",
+    "LockMonitor",
     "Project",
     "Rule",
+    "SanitizedLock",
     "SourceFile",
     "Violation",
+    "default_audits",
     "get_rules",
     "register_rule",
     "run_lint",

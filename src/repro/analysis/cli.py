@@ -49,6 +49,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--select", nargs="+", metavar="RULE", help="run only these rules"
     )
     parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run only the concurrency rules (lock-discipline, "
+        "lock-ordering, hold-and-call) and record their counts in "
+        "benchmarks/results/lint_report.json when that directory exists",
+    )
+    parser.add_argument(
         "--ignore", nargs="+", metavar="RULE", help="skip these rules"
     )
     parser.add_argument(
@@ -73,8 +80,21 @@ def run(
     select: Optional[List[str]] = None,
     ignore: Optional[List[str]] = None,
     project_root: Optional[str] = None,
+    concurrency: bool = False,
 ) -> int:
     """Shared driver behind ``repro-lint`` and the ``repro lint`` subcommand."""
+    if concurrency:
+        from repro.analysis.concurrency import CONCURRENCY_RULES
+
+        select = list(CONCURRENCY_RULES) + [
+            r for r in (select or []) if r not in CONCURRENCY_RULES
+        ]
+        if output is None:
+            # the benchmarks/results convention: track per-rule counts
+            # across PRs next to the other reports, when the tree has one
+            default_report = Path("benchmarks") / "results" / "lint_report.json"
+            if default_report.parent.is_dir():
+                output = str(default_report)
     try:
         result = run_lint(
             paths or default_paths(),
@@ -103,6 +123,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         select=args.select,
         ignore=args.ignore,
         project_root=args.project_root,
+        concurrency=args.concurrency,
     )
 
 

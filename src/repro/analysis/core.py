@@ -184,7 +184,8 @@ def get_rules(
     ignore: Optional[Sequence[str]] = None,
 ) -> List[Rule]:
     """Registered rules, optionally filtered by ``select`` / ``ignore``."""
-    # Importing the rules module populates the registry on first use.
+    # Importing the rule modules populates the registry on first use.
+    from repro.analysis import concurrency as _concurrency  # noqa: F401
     from repro.analysis import rules as _rules  # noqa: F401
 
     known = set(_REGISTRY)

@@ -38,7 +38,15 @@ def render_text(result: LintResult) -> str:
 
 
 def to_dict(result: LintResult) -> Dict:
-    """A JSON-serialisable summary of one lint run."""
+    """A JSON-serialisable summary of one lint run.
+
+    ``counts_by_rule`` carries an explicit zero for every rule that ran —
+    a clean concurrency pass records ``lock-discipline: 0`` rather than
+    omitting the rule, so report consumers can tell "ran clean" from
+    "never ran".
+    """
+    counts = {rule: 0 for rule in result.rules}
+    counts.update(result.counts_by_rule())
     return {
         "schema_version": JSON_SCHEMA_VERSION,
         "root": str(result.root),
@@ -46,7 +54,7 @@ def to_dict(result: LintResult) -> Dict:
         "rules": list(result.rules),
         "ok": result.ok,
         "total_violations": len(result.violations),
-        "counts_by_rule": result.counts_by_rule(),
+        "counts_by_rule": dict(sorted(counts.items())),
         "violations": [
             {
                 "path": v.path,

@@ -1,5 +1,11 @@
 """The reprolint rule set: eight checks for this codebase's real hazards.
 
+Three further concurrency-correctness rules — ``lock-discipline``,
+``lock-ordering`` and ``hold-and-call`` — live in
+:mod:`repro.analysis.concurrency` (selectable together via
+``repro lint --concurrency``); their runtime counterpart is
+:mod:`repro.analysis.sanitizer`.
+
 ====================  ======================================================
 rule id               guards against
 ====================  ======================================================

@@ -173,6 +173,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         select=args.select,
         ignore=args.ignore,
         project_root=args.project_root,
+        concurrency=args.concurrency,
     )
 
 
@@ -637,6 +638,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", help="also write a JSON report here")
     p.add_argument("--select", nargs="+", metavar="RULE")
     p.add_argument("--ignore", nargs="+", metavar="RULE")
+    p.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run only the concurrency rules (lock-discipline, "
+        "lock-ordering, hold-and-call)",
+    )
     p.add_argument("--project-root")
     p.set_defaults(func=cmd_lint)
 

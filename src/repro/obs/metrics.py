@@ -71,7 +71,8 @@ class Counter:
             self.value = value
 
     def as_dict(self) -> Dict[str, object]:
-        return {"type": "counter", "value": self.value}
+        with self._lock:
+            return {"type": "counter", "value": self.value}
 
 
 class Gauge:
@@ -97,7 +98,8 @@ class Gauge:
             self.value -= float(amount)
 
     def as_dict(self) -> Dict[str, object]:
-        return {"type": "gauge", "value": self.value}
+        with self._lock:
+            return {"type": "gauge", "value": self.value}
 
 
 class _HistogramTimer(Timer):
@@ -176,7 +178,8 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
         """The ``p``-th percentile over the reservoir (0.0 if empty);

@@ -30,6 +30,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import threading
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -183,6 +184,9 @@ class CheckpointManager:
         self.directory = directory
         self.retain = retain
         self._metrics = metrics
+        # Guards the write/fallback tallies only; file I/O stays outside
+        # (atomicity there comes from the tmp-then-replace protocol).
+        self._lock = threading.Lock()
         self.writes = 0
         self.fallbacks = 0
 
@@ -208,7 +212,8 @@ class CheckpointManager:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, final)
-        self.writes += 1
+        with self._lock:
+            self.writes += 1
         if self._metrics is not None:
             self._metrics.counter("checkpoint.writes").inc()
         self.prune()
@@ -234,7 +239,8 @@ class CheckpointManager:
             try:
                 return self.load(path)
             except (CheckpointError, OSError):
-                self.fallbacks += 1
+                with self._lock:
+                    self.fallbacks += 1
                 if self._metrics is not None:
                     self._metrics.counter("checkpoint.fallbacks").inc()
         return None

@@ -212,7 +212,9 @@ def recover(
             service.queue.preload(fifo)
         # accepted-event accounting continues across process lives: every
         # accept record in the log was an acceptance this service inherits
-        service.queue.accepted = sum(1 for r in records if r.kind == "accept")
+        service.queue.restore_accounting(
+            accepted=sum(1 for r in records if r.kind == "accept")
+        )
         service.metrics.counter("ingest.accepted").set(service.queue.accepted)
         service.metrics.gauge("queue.pending").set(service.queue.pending)
         service.metrics.counter("recovery.replayed_events").inc(replayed_events)

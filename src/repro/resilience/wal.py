@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import zlib
 from dataclasses import dataclass, field
 from typing import IO, List, Optional
@@ -175,6 +176,9 @@ class WriteAheadLog:
         self.path = path
         self.fsync = fsync
         self._metrics = metrics
+        # Guards the file handle and the sequence counter: one append =
+        # one contiguous seq + one uninterleaved record line.
+        self._lock = threading.Lock()
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
         recovered = scan(path)
@@ -193,26 +197,34 @@ class WriteAheadLog:
 
     def append_accept(self, edge: StreamEdge) -> WalRecord:
         """Journal one accepted event (call *before* buffering it)."""
-        return self._append(WalRecord(self.last_seq + 1, "accept", edge))
+        return self._append("accept", edge=edge)
 
     def append_evict(self, edge: StreamEdge) -> WalRecord:
         """Journal a ``drop_oldest`` eviction (call *before* popping)."""
-        return self._append(WalRecord(self.last_seq + 1, "evict", edge))
+        return self._append("evict", edge=edge)
 
     def append_batch(self, count: int) -> WalRecord:
         """Journal a micro-batch hand-off of ``count`` buffered events."""
         if count < 1:
             raise ValueError(f"batch count must be >= 1, got {count}")
-        return self._append(WalRecord(self.last_seq + 1, "batch", count=count))
+        return self._append("batch", count=count)
 
-    def _append(self, record: WalRecord) -> WalRecord:
-        if self._fh is None:
-            raise ValueError("write-ahead log is closed")
-        self._fh.write(_encode(record))
-        self._fh.flush()
-        if self.fsync:
-            os.fsync(self._fh.fileno())
-        self.last_seq = record.seq
+    def _append(
+        self, kind: str, edge: Optional[StreamEdge] = None, count: int = 0
+    ) -> WalRecord:
+        with self._lock:
+            if self._fh is None:
+                raise ValueError("write-ahead log is closed")
+            record = WalRecord(self.last_seq + 1, kind, edge, count)
+            # Writing under the lock IS the durability contract: the
+            # contiguous-seq invariant requires assigning the sequence
+            # number and emitting its record as one atomic step.  The
+            # write is an append to a local file — bounded, no network.
+            self._fh.write(_encode(record))
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())  # reprolint: disable=hold-and-call
+            self.last_seq = record.seq
         if self._metrics is not None:
             self._metrics.counter("wal.appends").inc()
         return record
@@ -221,12 +233,14 @@ class WriteAheadLog:
 
     @property
     def closed(self) -> bool:
-        return self._fh is None
+        with self._lock:
+            return self._fh is None
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "WriteAheadLog":
         return self

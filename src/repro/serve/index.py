@@ -27,6 +27,7 @@ separately from invalidations.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from typing import Callable, Dict, Iterable, NamedTuple, Optional, Set, Tuple
@@ -94,6 +95,11 @@ class TopKIndex:
         self.max_bytes = max_bytes
         self._clock = clock if clock is not None else time.monotonic
         self._candidate_set: Set[int] = set(int(c) for c in self.candidates)
+        # Innermost serve-path lock (DESIGN.md §12): guards the LRU cache
+        # and its tallies.  Scoring runs *outside* it — only cache
+        # bookkeeping serialises, so concurrent readers never wait on a
+        # matmul.
+        self._lock = threading.Lock()
         self._cache: "OrderedDict[Tuple[int, int], CacheEntry]" = OrderedDict()
         self._cache_bytes = 0
         self.hits = 0
@@ -116,15 +122,17 @@ class TopKIndex:
         if self.ttl_seconds is None:
             return 0
         now = self._clock()
-        stale = [k for k, e in self._cache.items() if self._expired(e, now)]
-        for key in stale:
-            self._evict(key)
+        with self._lock:
+            stale = [k for k, e in self._cache.items() if self._expired(e, now)]
+            for key in stale:
+                self._evict(key)
         return len(stale)
 
     @property
     def cache_bytes(self) -> int:
         """Summed payload bytes of the currently cached answers."""
-        return self._cache_bytes
+        with self._lock:
+            return self._cache_bytes
 
     # ---------------------------------------------------------------- scoring
 
@@ -168,33 +176,39 @@ class TopKIndex:
             raise ValueError(f"k must be >= 1, got {k}")
         key = (int(user), int(k))
         now = self._clock()
-        entry = self._cache.get(key)
-        if entry is not None and self._expired(entry, now):
-            self._evict(key)
-            entry = None
-        if entry is not None and entry.version == snapshot.version:
-            self._cache.move_to_end(key)
-            self.hits += 1
-            return entry.items
-        self.misses += 1
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None and self._expired(entry, now):
+                self._evict(key)
+                entry = None
+            if entry is not None and entry.version == snapshot.version:
+                self._cache.move_to_end(key)
+                self.hits += 1
+                return entry.items
+            self.misses += 1
+        # Scoring happens outside the lock: it dominates the miss path
+        # and must not serialise concurrent readers.  The snapshot is
+        # immutable, so the answer stays exact for its version even if
+        # another thread publishes or caches meanwhile.
         scores = self.scores(snapshot, user)
         positions, kth = self._top_k_exact(scores, k)
         items = self.candidates[positions]
         if self.cache_size > 0:
-            old = self._cache.pop(key, None)
-            if old is not None:
-                self._cache_bytes -= old.nbytes
-            self._cache[key] = CacheEntry(
-                snapshot.version, items, kth, now, int(items.nbytes)
-            )
-            self._cache_bytes += int(items.nbytes)
-            while len(self._cache) > self.cache_size:
-                self._evict(next(iter(self._cache)))
-            if self.max_bytes is not None:
-                # Oldest-first until under the cap; a single oversized
-                # answer is evicted too (caching it could never pay off).
-                while self._cache_bytes > self.max_bytes and self._cache:
+            with self._lock:
+                old = self._cache.pop(key, None)
+                if old is not None:
+                    self._cache_bytes -= old.nbytes
+                self._cache[key] = CacheEntry(
+                    snapshot.version, items, kth, now, int(items.nbytes)
+                )
+                self._cache_bytes += int(items.nbytes)
+                while len(self._cache) > self.cache_size:
                     self._evict(next(iter(self._cache)))
+                if self.max_bytes is not None:
+                    # Oldest-first until under the cap; a single oversized
+                    # answer is evicted too (caching it could never pay off).
+                    while self._cache_bytes > self.max_bytes and self._cache:
+                        self._evict(next(iter(self._cache)))
         return items
 
     # ----------------------------------------------------------- invalidation
@@ -218,49 +232,57 @@ class TopKIndex:
         item_set = set(int(i) for i in items)
         dropped = 0
         new_scores: Dict[int, np.ndarray] = {}
-        for key in list(self._cache):
-            user, _ = key
-            entry = self._cache[key]
-            if user in users:
-                stale = True
-            elif item_set and any(int(i) in item_set for i in entry.items):
-                stale = True
-            elif items.size:
-                scores = new_scores.get(user)
-                if scores is None:
-                    query = np.asarray(snapshot.row(user), dtype=np.float64)
-                    scores = snapshot.rows(items) @ query
-                    new_scores[user] = scores
-                # >= : a tie with the cached boundary can reorder the list
-                stale = bool(np.any(scores >= entry.kth_score))
-            else:
-                stale = False
-            if stale:
-                del self._cache[key]
-                self._cache_bytes -= entry.nbytes
-                dropped += 1
-            else:
-                self._cache[key] = CacheEntry(
-                    snapshot.version,
-                    entry.items,
-                    entry.kth_score,
-                    entry.created_at,
-                    entry.nbytes,
-                )
-        self.invalidations += dropped
+        # Writer path: staleness decisions and the re-stamp must be
+        # atomic against concurrent readers, so the whole sweep holds
+        # the lock (the per-user rescoring touches only the immutable
+        # snapshot).
+        with self._lock:
+            for key in list(self._cache):
+                user, _ = key
+                entry = self._cache[key]
+                if user in users:
+                    stale = True
+                elif item_set and any(int(i) in item_set for i in entry.items):
+                    stale = True
+                elif items.size:
+                    scores = new_scores.get(user)
+                    if scores is None:
+                        query = np.asarray(snapshot.row(user), dtype=np.float64)
+                        scores = snapshot.rows(items) @ query
+                        new_scores[user] = scores
+                    # >= : a tie with the cached boundary can reorder the list
+                    stale = bool(np.any(scores >= entry.kth_score))
+                else:
+                    stale = False
+                if stale:
+                    del self._cache[key]
+                    self._cache_bytes -= entry.nbytes
+                    dropped += 1
+                else:
+                    self._cache[key] = CacheEntry(
+                        snapshot.version,
+                        entry.items,
+                        entry.kth_score,
+                        entry.created_at,
+                        entry.nbytes,
+                    )
+            self.invalidations += dropped
         return dropped
 
     # -------------------------------------------------------------- inspection
 
     def cached_keys(self) -> Tuple[Tuple[int, int], ...]:
         """Current ``(user, k)`` cache keys, oldest first."""
-        return tuple(self._cache.keys())
+        with self._lock:
+            return tuple(self._cache.keys())
 
     def cache_entry(self, user: int, k: int) -> Optional[CacheEntry]:
         """The cached entry for ``(user, k)``, if any (no LRU effect)."""
-        return self._cache.get((int(user), int(k)))
+        with self._lock:
+            return self._cache.get((int(user), int(k)))
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0

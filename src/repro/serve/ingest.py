@@ -122,6 +122,11 @@ class EventQueue:
         self.late_tolerance = late_tolerance
         self._journal = journal
         self._buffer: List[StreamEdge] = []
+        # The queue lock is the OUTERMOST rank in the serving hierarchy
+        # (DESIGN.md §12): batches dispatch to the handler while it is
+        # held, and the handler legitimately calls back in.
+        # reentrant: put/flush -> _dispatch_one -> handler
+        #            -> dead_letter/pause (update failure, breaker trip)
         self._lock = threading.RLock()
         self._paused = False
         self.deadletters: List[DeadLetter] = []
@@ -140,15 +145,22 @@ class EventQueue:
     @property
     def pending(self) -> int:
         """Events buffered but not yet handed to the handler."""
-        return len(self._buffer)
+        with self._lock:
+            return len(self._buffer)
 
     @property
     def paused(self) -> bool:
-        return self._paused
+        with self._lock:
+            return self._paused
 
     def pause(self) -> None:
-        """Stop dispatching micro-batches; events keep buffering."""
-        self._paused = True
+        """Stop dispatching micro-batches; events keep buffering.
+
+        Reentrancy-safe: the update handler calls this mid-dispatch when
+        the circuit breaker trips (see the lock's reentrant chain).
+        """
+        with self._lock:
+            self._paused = True
 
     def resume(self) -> None:
         """Re-enable dispatch and drain any ready micro-batches."""
@@ -168,7 +180,12 @@ class EventQueue:
         """
         with self._lock:
             if self._validator is not None:
-                reason = self._validator(edge)
+                # The validate/journal/dispatch sequence is one atomic
+                # queue decision: the deadletter ledger, the WAL and the
+                # buffer must agree event-for-event, so the injected
+                # hooks run under the lock by contract.  Hooks must be
+                # non-blocking (DESIGN.md §12).
+                reason = self._validator(edge)  # reprolint: disable=hold-and-call
                 if reason is not None:
                     self._dead_letter(edge, reason)
                     return False
@@ -192,11 +209,13 @@ class EventQueue:
                     self._dead_letter(edge, "backpressure: queue at capacity")
                     return False
                 if self._journal is not None:
-                    self._journal("evict", self._buffer[0], 0)
+                    # write-ahead: journal the eviction before it happens
+                    self._journal("evict", self._buffer[0], 0)  # reprolint: disable=hold-and-call
                 evicted = self._buffer.pop(0)
                 self._dead_letter(evicted, "backpressure: evicted oldest")
             if self._journal is not None:
-                self._journal("accept", edge, 0)
+                # write-ahead: journal the acceptance before buffering
+                self._journal("accept", edge, 0)  # reprolint: disable=hold-and-call
             self._buffer.append(edge)
             self.accepted += 1
             if edge.t > self.max_timestamp:
@@ -238,6 +257,24 @@ class EventQueue:
                 if edge.t > self.max_timestamp:
                     self.max_timestamp = float(edge.t)
 
+    def restore_accounting(
+        self,
+        accepted: Optional[int] = None,
+        max_timestamp: Optional[float] = None,
+    ) -> None:
+        """Adopt ledger state recovered from a previous process life.
+
+        Recovery replays the WAL into a fresh queue; the cumulative
+        ``accepted`` count and the late-event watermark must continue
+        across the crash rather than restart from zero.  The watermark
+        only ever advances.
+        """
+        with self._lock:
+            if accepted is not None:
+                self.accepted = int(accepted)
+            if max_timestamp is not None and max_timestamp > self.max_timestamp:
+                self.max_timestamp = float(max_timestamp)
+
     def dead_letter(self, edge: StreamEdge, reason: str) -> None:
         """Deadletter an event on the owner's behalf (e.g. a batch whose
         update failed after it left the buffer)."""
@@ -254,10 +291,16 @@ class EventQueue:
 
     def _dispatch_one(self, size: int) -> int:
         if self._journal is not None:
-            self._journal("batch", None, size)
+            # write-ahead: journal the batch cut before it happens
+            self._journal("batch", None, size)  # reprolint: disable=hold-and-call
         batch, self._buffer = self._buffer[:size], self._buffer[size:]
         self.batches_dispatched += 1
-        self._handler(EdgeStream(batch))
+        # Dispatch-under-lock is the queue's consistency contract: the
+        # batch boundary, the ledger counters and the handler's view of
+        # them commit atomically, and the WAL replay reconstructs the
+        # exact same sequence.  The reentrant chain documented on the
+        # lock exists precisely because the handler may call back in.
+        self._handler(EdgeStream(batch))  # reprolint: disable=hold-and-call
         return len(batch)
 
     def _dead_letter(self, edge: StreamEdge, reason: str) -> None:

@@ -25,10 +25,11 @@ answers equal the offline ranking pipeline exactly.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Union
+from typing import Callable, Dict, Iterator, Optional, Union
 
 import numpy as np
 
@@ -72,6 +73,10 @@ class ServeConfig:
     ingest_backoff_seconds: float = 0.001  # base of the exponential backoff
     breaker_threshold: int = 3  # consecutive update failures to trip; 0 = never
     breaker_cooldown_events: int = 64  # ingests while open before a probe
+    #: injectable sleep for the ingest_with_retry backoff; ``None`` uses
+    #: :func:`time.sleep`.  Tests pass a recording fake so retry timing
+    #: is deterministic and never actually blocks.
+    sleep_fn: Optional[Callable[[float], None]] = None
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -215,6 +220,15 @@ class RecommendationService:
             self.metrics.gauge(name)
         for name in ("latency.recommend_seconds", "latency.update_seconds"):
             self.metrics.histogram(name)
+        # Guards the service's scalar runtime state (_clock,
+        # _update_in_flight, _updates_applied, breaker fields,
+        # _resilience_suspended).  Leaf-like by contract: never call
+        # into the queue, store, index or metrics while holding it —
+        # it ranks between the queue lock and the store lock in the
+        # hierarchy (DESIGN.md §12) only because update dispatch runs
+        # under the queue lock.
+        self._state_lock = threading.Lock()
+        self._sleep = self.config.sleep_fn if self.config.sleep_fn else time.sleep
         self._clock = float(initial_clock)  # latest applied event timestamp
         self._update_in_flight = False
         self._updates_applied = 0
@@ -306,10 +320,13 @@ class RecommendationService:
         keep buffering (bounded-stale serving) and every ingest counts
         toward the cooldown that triggers a half-open probe.
         """
-        if self._breaker_open:
-            self._breaker_cooldown -= 1
-            if self._breaker_cooldown <= 0:
-                self._probe_breaker()
+        with self._state_lock:
+            probe = False
+            if self._breaker_open:
+                self._breaker_cooldown -= 1
+                probe = self._breaker_cooldown <= 0
+        if probe:
+            self._probe_breaker()
         with self.tracer.span("serve.service.ingest"):
             accepted = self.queue.put(edge)
         counters = self.metrics
@@ -345,7 +362,7 @@ class RecommendationService:
             except BackpressureError:
                 if attempt >= retries:
                     raise
-                time.sleep(backoff_seconds * (2.0 ** attempt))
+                self._sleep(backoff_seconds * (2.0 ** attempt))
                 attempt += 1
 
     def flush(self) -> int:
@@ -375,7 +392,8 @@ class RecommendationService:
         the circuit breaker opens — dispatch pauses and the service
         degrades to bounded-stale reads until a cooldown probe.
         """
-        self._update_in_flight = True
+        with self._state_lock:
+            self._update_in_flight = True
         try:
             with self.tracer.span("serve.service.update", events=len(batch)):
                 with self.metrics.histogram("latency.update_seconds").time():
@@ -386,23 +404,28 @@ class RecommendationService:
                         # into the producer's ingest call
                         self._register_update_failure(batch, exc)
                         return
-            self._updates_applied += 1
-            self._consecutive_update_failures = 0
-            self.metrics.counter("updates.applied").set(self._updates_applied)
+            with self._state_lock:
+                self._updates_applied += 1
+                self._consecutive_update_failures = 0
+                applied = self._updates_applied
+            self.metrics.counter("updates.applied").set(applied)
             self.metrics.counter("cache.invalidated").set(self.index.invalidations)
             self.metrics.counter("cache.evictions").set(self.index.evictions)
             self.metrics.counter("store.compactions").set(self.store.compactions)
             self.metrics.gauge("store.version").set(snapshot.version)
             self._maybe_checkpoint()
         finally:
-            self._update_in_flight = False
+            with self._state_lock:
+                self._update_in_flight = False
 
     def _train_and_publish(self, batch: EdgeStream):
         """The transactional core of one update; returns the snapshot."""
-        report = self.trainer.train_one_batch(
-            batch, batch_index=self._updates_applied
-        )
-        self._clock = max(self._clock, float(batch[len(batch) - 1].t))
+        with self._state_lock:
+            batch_index = self._updates_applied
+        report = self.trainer.train_one_batch(batch, batch_index=batch_index)
+        with self._state_lock:
+            self._clock = max(self._clock, float(batch[len(batch) - 1].t))
+            clock = self._clock
         if self._full_refresh:
             rows = np.arange(self.dataset.num_nodes, dtype=np.int64)
         else:
@@ -411,7 +434,7 @@ class RecommendationService:
         with self.tracer.span("serve.store.publish", rows=int(rows.size)):
             snapshot = self.store.publish(
                 rows,
-                self.model.final_embeddings(rows, self.edge_type, self._clock),
+                self.model.final_embeddings(rows, self.edge_type, clock),
             )
         touched = set(int(r) for r in rows)
         with self.tracer.span("serve.index.invalidate"):
@@ -420,33 +443,36 @@ class RecommendationService:
 
     def _register_update_failure(self, batch: EdgeStream, exc: Exception) -> None:
         """Deadletter a failed batch; trip the breaker at the threshold."""
-        self._consecutive_update_failures += 1
+        with self._state_lock:
+            self._consecutive_update_failures += 1
+            failures = self._consecutive_update_failures
         self.metrics.counter("updates.failed").inc()
         reason = f"update failure: {type(exc).__name__}: {exc}"
         for edge in batch:
             self.queue.dead_letter(edge, reason)
         threshold = self.config.breaker_threshold
-        if (
-            threshold
-            and self._consecutive_update_failures >= threshold
-            and not self._breaker_open
-        ):
-            self._breaker_open = True
-            self._breaker_cooldown = self.config.breaker_cooldown_events
+        with self._state_lock:
+            trip = bool(threshold) and failures >= threshold and not self._breaker_open
+            if trip:
+                self._breaker_open = True
+                self._breaker_cooldown = self.config.breaker_cooldown_events
+        if trip:
             self.queue.pause()
             self.metrics.counter("breaker.opened").inc()
             self.metrics.gauge("breaker.state").set(1.0)
 
     def _probe_breaker(self) -> None:
         """Half-open: re-enable dispatch; the next failure re-opens."""
-        self._breaker_open = False
+        with self._state_lock:
+            self._breaker_open = False
         self.metrics.gauge("breaker.state").set(0.0)
         self.queue.resume()
 
     @property
     def breaker_open(self) -> bool:
         """True while the update circuit breaker has dispatch paused."""
-        return self._breaker_open
+        with self._state_lock:
+            return self._breaker_open
 
     # -------------------------------------------------------------- durability
 
@@ -454,7 +480,9 @@ class RecommendationService:
         self, kind: str, edge: Optional[StreamEdge], count: int
     ) -> None:
         """EventQueue journal hook → WAL append (write-ahead of state)."""
-        if self._resilience_suspended:
+        with self._state_lock:
+            suspended = self._resilience_suspended
+        if suspended:
             return
         if kind == "accept":
             self.wal.append_accept(edge)
@@ -465,12 +493,10 @@ class RecommendationService:
 
     def _maybe_checkpoint(self) -> None:
         every = self.config.checkpoint_every
-        if (
-            self.checkpoints is None
-            or self._resilience_suspended
-            or every < 1
-            or self._updates_applied % every != 0
-        ):
+        with self._state_lock:
+            suspended = self._resilience_suspended
+            applied = self._updates_applied
+        if self.checkpoints is None or suspended or every < 1 or applied % every != 0:
             return
         self.checkpoint()
 
@@ -485,10 +511,13 @@ class RecommendationService:
             return None
         from repro.resilience.checkpoint import Checkpoint
 
+        with self._state_lock:
+            updates_applied = self._updates_applied
+            clock = self._clock
         ckpt = Checkpoint(
             seq=self.wal.last_seq if self.wal is not None else 0,
-            updates_applied=self._updates_applied,
-            clock=self._clock,
+            updates_applied=updates_applied,
+            clock=clock,
             residue=list(self.queue.buffered()),
             model_state=self.model.state_dict(),
             model_rng_state=self.model.rng.bit_generator.state,
@@ -504,10 +533,10 @@ class RecommendationService:
         replaying the WAL suffix so ``batch_index`` and the late-event
         watermark continue where the crashed process stopped.
         """
-        self._updates_applied = int(updates_applied)
-        self.metrics.counter("updates.applied").set(self._updates_applied)
-        if max_timestamp > self.queue.max_timestamp:
-            self.queue.max_timestamp = float(max_timestamp)
+        with self._state_lock:
+            self._updates_applied = int(updates_applied)
+        self.metrics.counter("updates.applied").set(int(updates_applied))
+        self.queue.restore_accounting(max_timestamp=float(max_timestamp))
 
     def apply_recovered_batch(self, batch: EdgeStream) -> None:
         """Re-run one journaled micro-batch during WAL replay."""
@@ -521,12 +550,14 @@ class RecommendationService:
         re-journaling them (or checkpointing against a mid-replay WAL
         position) would corrupt the sequence.
         """
-        previous = self._resilience_suspended
-        self._resilience_suspended = True
+        with self._state_lock:
+            previous = self._resilience_suspended
+            self._resilience_suspended = True
         try:
             yield self
         finally:
-            self._resilience_suspended = previous
+            with self._state_lock:
+                self._resilience_suspended = previous
 
     def close(self) -> None:
         """Release the WAL file handle (a crashed process does this for
@@ -559,10 +590,12 @@ class RecommendationService:
             self.metrics.counter("cache.misses").inc()
         self.metrics.counter("cache.evictions").set(self.index.evictions)
         stale_by = self.queue.pending
-        if self._update_in_flight:
+        with self._state_lock:
+            in_flight = self._update_in_flight
+        if in_flight:
             stale_by += self.config.batch_size
             self.metrics.counter("serve.stale_serves").inc()
-        elif self.queue.pending:
+        elif stale_by:
             self.metrics.counter("serve.stale_serves").inc()
         self.metrics.gauge("staleness.events_behind").set(stale_by)
         return items
@@ -573,7 +606,7 @@ class RecommendationService:
         Scores with the live model exactly as ``eval/ranking`` does; on a
         quiesced service this must equal :meth:`recommend`.
         """
-        return self.model.recommend(int(user), self.items, self.edge_type, self._clock, k=k)
+        return self.model.recommend(int(user), self.items, self.edge_type, self.clock, k=k)
 
     # ------------------------------------------------------------- observation
 
@@ -584,16 +617,19 @@ class RecommendationService:
     @property
     def clock(self) -> float:
         """Latest event timestamp applied to the model."""
-        return self._clock
+        with self._state_lock:
+            return self._clock
 
     def stats(self) -> Dict[str, float]:
         """A flat convenience summary of the busiest metrics."""
+        with self._state_lock:
+            updates_applied = self._updates_applied
         return {
             "events_accepted": float(self.queue.accepted),
             "events_rejected": float(self.queue.rejected),
             "events_dropped": float(self.queue.dropped),
             "events_pending": float(self.queue.pending),
-            "updates_applied": float(self._updates_applied),
+            "updates_applied": float(updates_applied),
             "snapshot_version": float(self.store.version),
             "cache_hit_rate": self.index.hit_rate,
             "recommend_p95_seconds": self.metrics.histogram(

@@ -137,15 +137,22 @@ class VersionedEmbeddingStore:
 
     @property
     def version(self) -> int:
-        return self._current.version
+        # Wait-free by design, like snapshot(): one atomic reference read.
+        return self._current.version  # reprolint: disable=lock-discipline
 
     @property
     def block_size(self) -> int:
         return self._block_size
 
     def snapshot(self) -> Snapshot:
-        """The latest published snapshot; holding it pins the version."""
-        return self._current
+        """The latest published snapshot; holding it pins the version.
+
+        Deliberately lock-free: publication is a single reference
+        assignment to an immutable snapshot (the GIL makes the read
+        atomic), so readers never block on a publish — the serve path's
+        never-blocks-on-learning guarantee depends on this.
+        """
+        return self._current  # reprolint: disable=lock-discipline
 
     def publish(self, rows: Sequence[int], values: np.ndarray) -> Snapshot:
         """Atomically publish new ``values`` for ``rows``.

@@ -58,7 +58,10 @@ class TestOutputs:
             ]
         )
         payload = json.loads(capsys.readouterr().out)
-        assert payload["counts_by_rule"] == {"explicit-dtype": 1}
+        assert payload["counts_by_rule"]["explicit-dtype"] == 1
+        # every rule that ran appears, zero-filled when clean
+        assert set(payload["counts_by_rule"]) == set(payload["rules"])
+        assert sum(payload["counts_by_rule"].values()) == 1
 
     def test_output_file_written(self, make_project, capsys):
         root = make_project(DIRTY)

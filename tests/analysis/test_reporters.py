@@ -32,10 +32,11 @@ class TestJson:
         payload = json.loads(render_json(lint(FILES_DIRTY)))
         assert payload["ok"] is False
         assert payload["total_violations"] == 2
-        assert payload["counts_by_rule"] == {
-            "explicit-dtype": 1,
-            "rng-discipline": 1,
-        }
+        assert payload["counts_by_rule"]["explicit-dtype"] == 1
+        assert payload["counts_by_rule"]["rng-discipline"] == 1
+        # every rule that ran is recorded, clean rules with an explicit 0
+        assert set(payload["counts_by_rule"]) == set(payload["rules"])
+        assert payload["counts_by_rule"]["lock-discipline"] == 0
         first = payload["violations"][0]
         assert set(first) == {"path", "line", "col", "rule", "message"}
 

@@ -226,6 +226,32 @@ class TestThreadSafety:
         assert len(reg) == 1
         assert all(c is seen[0] for c in seen)
 
+    def test_mixed_hammer_is_sanitizer_clean(self):
+        """Counters, gauges and histograms hammered together under the
+        runtime lock sanitizer: no inversion, no unguarded write."""
+        from repro.analysis import threadcheck
+
+        with threadcheck() as monitor:
+            reg = MetricsRegistry()
+
+            def work():
+                for i in range(self.N_OPS // 4):
+                    reg.counter("hits").inc()
+                    reg.gauge("depth").set(float(i))
+                    reg.histogram("lat", reservoir_size=32).observe(float(i))
+
+            threads = [
+                threading.Thread(target=work) for _ in range(self.N_THREADS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            snapshot = reg.as_dict()
+        assert monitor.inversions == []
+        assert monitor.unguarded_writes == []
+        assert snapshot["hits"]["value"] == self.N_THREADS * (self.N_OPS // 4)
+
     def test_concurrent_gauge_inc_dec_balance(self):
         reg = MetricsRegistry()
 

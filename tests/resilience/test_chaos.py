@@ -129,6 +129,39 @@ class TestChaosReplay:
                 serve_config=ServeConfig(batch_size=32, capacity=128),
             )
 
+    def test_sanitized_run_is_clean_and_bitwise_identical(
+        self, dataset, tmp_path
+    ):
+        """The lock sanitizer must observe nothing — and change nothing.
+
+        Two drivers, same seed and plan, different state dirs: one plain,
+        one under ``threadcheck()``.  The sanitized run must report zero
+        inversions / unguarded writes AND produce an identical report
+        (timing aside), proving monitoring is pure observation.
+        """
+        from repro.analysis import threadcheck
+
+        plan = FaultPlan.seeded(
+            120, seed=7, malformed=2, late=2, duplicate=1, burst=1, crash=1
+        )
+
+        def run(state_dir):
+            driver = ChaosReplayDriver(
+                dataset, state_dir=state_dir, plan=plan, max_parity_users=8
+            )
+            return driver.run()
+
+        plain = run(str(tmp_path / "plain"))
+        with threadcheck() as monitor:
+            sanitized = run(str(tmp_path / "sanitized"))
+        assert monitor.inversions == []
+        assert monitor.unguarded_writes == []
+
+        a, b = plain.as_dict(), sanitized.as_dict()
+        a.pop("ingest_seconds"), b.pop("ingest_seconds")
+        assert a == b
+        assert sanitized.reconciled and sanitized.parity_fraction == 1.0
+
     def test_pinned_crash_position(self, dataset, tmp_path):
         plan = FaultPlan(faults=[Fault("crash", position=80)])
         driver = ChaosReplayDriver(

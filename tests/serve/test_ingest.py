@@ -213,33 +213,42 @@ class TestConcurrentPut:
     def hammer(self, overflow):
         import threading
 
+        from repro.analysis import threadcheck
+
         batches, handler = collector()
-        q = EventQueue(
-            handler,
-            batch_size=8,
-            capacity=self.CAPACITY,
-            overflow=overflow,
-            max_deadletters=10_000,
-        )
-        q.pause()  # dispatch off: the buffer genuinely fills
-        raised = [0] * self.THREADS
+        # the whole hammer runs under the lock sanitizer: any lock-order
+        # inversion or unguarded write across the worker threads fails
+        # the test even when the ledger happens to balance
+        with threadcheck() as monitor:
+            q = EventQueue(
+                handler,
+                batch_size=8,
+                capacity=self.CAPACITY,
+                overflow=overflow,
+                max_deadletters=10_000,
+            )
+            q.pause()  # dispatch off: the buffer genuinely fills
+            raised = [0] * self.THREADS
 
-        def worker(tid):
-            for i in range(self.PER_THREAD):
-                try:
-                    q.put(edge(tid * self.PER_THREAD + i, t=float(i)))
-                except BackpressureError:
-                    raised[tid] += 1
+            def worker(tid):
+                for i in range(self.PER_THREAD):
+                    try:
+                        q.put(edge(tid * self.PER_THREAD + i, t=float(i)))
+                    except BackpressureError:
+                        raised[tid] += 1
 
-        threads = [
-            threading.Thread(target=worker, args=(t,)) for t in range(self.THREADS)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        q.resume()
-        q.flush()
+            threads = [
+                threading.Thread(target=worker, args=(t,))
+                for t in range(self.THREADS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            q.resume()
+            q.flush()
+        assert monitor.inversions == []
+        assert monitor.unguarded_writes == []
         dispatched = sum(len(b) for b in batches)
         return q, sum(raised), dispatched
 
