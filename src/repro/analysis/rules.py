@@ -150,12 +150,13 @@ class ExplicitDtypeRule(Rule):
 
     id = "explicit-dtype"
     description = (
-        "np.zeros/np.empty/np.ones/np.full in core/, autograd/, serve/ and "
-        "resilience/ must pass an explicit dtype= so the analytic-gradient, "
-        "autograd, serving-snapshot and checkpoint-parity paths cannot drift "
-        "between float32 and float64; core/engine/ additionally requires "
-        "dtype= on np.asarray/np.arange because plan arrays feed the "
-        "engines' bitwise-parity contract"
+        "np.zeros/np.empty/np.ones/np.full in core/, autograd/, serve/, "
+        "resilience/ and replicate/ must pass an explicit dtype= so the "
+        "analytic-gradient, autograd, serving-snapshot, checkpoint-parity "
+        "and replica-fingerprint paths cannot drift between float32 and "
+        "float64; core/engine/ additionally requires dtype= on "
+        "np.asarray/np.arange because plan arrays feed the engines' "
+        "bitwise-parity contract"
     )
 
     #: constructor -> index of the positional dtype argument
@@ -164,7 +165,7 @@ class ExplicitDtypeRule(Rule):
     #: coercions/ranges must pin their dtype (platform default int drift
     #: would silently break the parity gate, not just precision).
     ENGINE_CONSTRUCTORS = {**CONSTRUCTORS, "asarray": 1, "arange": 3}
-    SCOPES = ("core/", "autograd/", "serve/", "resilience/")
+    SCOPES = ("core/", "autograd/", "serve/", "resilience/", "replicate/")
     ENGINE_SCOPE = "core/engine/"
 
     def applies_to(self, sf: SourceFile) -> bool:

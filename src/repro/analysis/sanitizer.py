@@ -265,8 +265,9 @@ def default_audits() -> List[Audit]:
     the two so they cannot drift apart.
     """
     from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+    from repro.replicate.follower import ReplicationFollower
     from repro.resilience.checkpoint import CheckpointManager
-    from repro.resilience.wal import WriteAheadLog
+    from repro.resilience.wal import WalTailer, WriteAheadLog
     from repro.serve.index import TopKIndex
     from repro.serve.ingest import EventQueue
     from repro.serve.service import RecommendationService
@@ -295,7 +296,7 @@ def default_audits() -> List[Audit]:
             "_lock",
             {
                 "_cache", "_cache_bytes", "hits", "misses",
-                "invalidations", "evictions",
+                "invalidations", "evictions", "warmed",
             },
         ),
         audit(Counter, "_lock", {"value"}),
@@ -312,11 +313,33 @@ def default_audits() -> List[Audit]:
             {
                 "_clock", "_update_in_flight", "_updates_applied",
                 "_resilience_suspended", "_consecutive_update_failures",
-                "_breaker_open", "_breaker_cooldown",
+                "_breaker_open", "_breaker_cooldown", "_read_only",
+                "_user_activity",
             },
         ),
-        audit(WriteAheadLog, "_lock", {"last_seq", "_fh"}),
+        audit(
+            WriteAheadLog,
+            "_lock",
+            {"last_seq", "_fh", "_active_path", "_active_bytes"},
+        ),
         audit(CheckpointManager, "_lock", {"writes", "fallbacks"}),
+        audit(
+            WalTailer,
+            "_lock",
+            {
+                "_segment", "_offset", "_next_seq", "_bytes_read",
+                "_records_read", "_backlog_bytes",
+            },
+        ),
+        audit(
+            ReplicationFollower,
+            "_lock",
+            {
+                "_fifo", "_accepted_total", "_watermark", "_state",
+                "_last_seq_applied", "_last_hb_primary_t", "_last_hb_seen_at",
+                "_heartbeats_seen", "_lag_records",
+            },
+        ),
     ]
 
 

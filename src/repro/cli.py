@@ -18,6 +18,12 @@ Commands:
   plan (malformed / late / duplicate / burst / crash), recover through
   the WAL + checkpoint stack and reconcile every injected fault against
   what the system recorded (see :mod:`repro.resilience`).
+* ``replicate`` — WAL-shipping replication roles (see
+  :mod:`repro.replicate`): ``primary`` runs the writable update loop
+  publishing its WAL, ``follower`` bootstraps a read replica and tails
+  it, ``promote`` flips a drained follower writable and optionally
+  resumes ingest with a golden parity check, and ``failover`` runs the
+  seeded kill-primary chaos gate end to end.
 * ``bench-train`` — measure steady-state training throughput of the
   reference vs batched execution engine (with a bitwise parity check)
   and optionally enforce a minimum speedup.
@@ -386,6 +392,249 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _replication_pieces(args: argparse.Namespace):
+    """(dataset, serve_config, model_config, replication) shared by every
+    ``replicate`` role — the three roles must agree on all of them."""
+    from repro.replicate import ReplicationConfig
+    from repro.serve import ServeConfig
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    serve_config = ServeConfig(
+        batch_size=args.batch_size,
+        capacity=args.capacity,
+        overflow="drop_new",
+        late_tolerance=0.0,
+        warm_users=8,
+    )
+    model_config = SUPAConfig(
+        dim=args.dim, num_walks=2, walk_length=2, seed=args.seed
+    )
+    replication = ReplicationConfig(
+        heartbeat_every=args.heartbeat_every,
+        checkpoint_every=args.checkpoint_every,
+    )
+    return dataset, serve_config, model_config, replication
+
+
+def cmd_replicate_primary(args: argparse.Namespace) -> int:
+    from repro.replicate import ReplicationPrimary
+
+    dataset, serve_config, model_config, replication = _replication_pieces(args)
+    stream = list(dataset.stream)
+    end = len(stream) if args.events is None else min(args.events, len(stream))
+    primary = ReplicationPrimary(
+        dataset,
+        args.state_dir,
+        serve_config=serve_config,
+        model_config=model_config,
+        replication=replication,
+    )
+    accepted = 0
+    for edge in stream[:end]:
+        if primary.ingest(edge):
+            accepted += 1
+    if args.graceful:
+        primary.flush()
+        primary.checkpoint()
+        primary.close()
+    else:
+        # default: stop abruptly, like a killed process — buffered
+        # events stay journaled and a follower inherits them as residue
+        primary.kill()
+    rows = [
+        ("events offered", end),
+        ("events accepted", accepted),
+        ("wal last seq", primary.last_seq),
+        ("wal segments", len(primary.service.wal.segments())),
+        (
+            "heartbeats",
+            int(primary.metrics.counter("replica.heartbeats").value),
+        ),
+        ("stopped", "graceful" if args.graceful else "abrupt"),
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"replicate primary: {args.dataset} -> {args.state_dir}",
+        )
+    )
+    return 0
+
+
+def cmd_replicate_follower(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.replicate import ReplicationFollower
+
+    dataset, serve_config, model_config, replication = _replication_pieces(args)
+    follower = ReplicationFollower(
+        dataset,
+        args.state_dir,
+        serve_config=serve_config,
+        model_config=model_config,
+        replication=replication,
+    ).bootstrap()
+    while follower.poll():
+        pass
+    service = follower.service
+    users = service.users
+    matches = 0
+    probes = min(args.probes, int(users.size))
+    for i in range(probes):
+        user = int(users[i % users.size])
+        served = follower.recommend(user, args.k)
+        if np.array_equal(served, service.offline_top_k(user, args.k)):
+            matches += 1
+    metrics = service.metrics
+    rows = [
+        ("state", follower.state),
+        ("applied seq", follower.applied_seq),
+        ("queue residue", follower.residue),
+        ("accepted (ledger)", follower.accepted_total),
+        ("heartbeats seen", follower.heartbeats_seen),
+        ("seq lag (last poll)", follower.lag_records),
+        (
+            "lag seconds",
+            round(float(metrics.gauge("replica.lag_seconds").value), 3),
+        ),
+        (
+            "bytes shipped",
+            int(metrics.counter("replica.bytes_shipped").value),
+        ),
+        ("cache entries warmed", service.index.warmed),
+        (f"top-{args.k} parity", f"{matches}/{probes}"),
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"replicate follower: tailing {args.state_dir}",
+        )
+    )
+    return 0 if matches == probes else 1
+
+
+def cmd_replicate_promote(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.replicate import ReplicationFollower, state_fingerprint
+
+    dataset, serve_config, model_config, replication = _replication_pieces(args)
+    stream = list(dataset.stream)
+    follower = ReplicationFollower(
+        dataset,
+        args.state_dir,
+        replica_dir=args.replica_dir,
+        serve_config=serve_config,
+        model_config=model_config,
+        replication=replication,
+    ).bootstrap()
+    follower.promote(args.replica_dir)
+    resume_from = args.resume_from
+    resumed = stream[resume_from:]
+    if args.events is not None:
+        resumed = resumed[: args.events]
+    for edge in resumed:
+        follower.ingest(edge)
+    follower.flush()
+    service = follower.service
+    rows = [
+        ("state", follower.state),
+        ("inherited seq", follower.applied_seq),
+        ("events resumed", len(resumed)),
+        ("events accepted (ledger)", service.queue.accepted),
+        ("own wal last seq", service.wal.last_seq),
+    ]
+    exit_code = 0
+    if args.verify_parity:
+        # golden: one uninterrupted single-node run over the identical
+        # prefix + resumed slice (valid when the primary ingested
+        # exactly stream[:resume_from] and stopped abruptly)
+        from dataclasses import replace
+
+        from repro.serve import RecommendationService
+        from repro.core.model import SUPA
+
+        golden_config = replace(
+            serve_config, wal_path=None, checkpoint_dir=None, checkpoint_every=0
+        )
+        golden = RecommendationService(
+            dataset,
+            model=SUPA.for_dataset(dataset, model_config),
+            config=golden_config,
+        )
+        for edge in stream[:resume_from]:
+            golden.ingest(edge)
+        for edge in resumed:
+            golden.ingest(edge)
+        golden.flush()
+        fingerprint_ok = state_fingerprint(service) == state_fingerprint(golden)
+        users = service.users
+        probes = min(args.probes, int(users.size))
+        matches = 0
+        for i in range(probes):
+            user = int(users[i % users.size])
+            if np.array_equal(
+                follower.recommend(user, args.k), golden.recommend(user, args.k)
+            ):
+                matches += 1
+        golden.close()
+        rows.append(
+            ("state fingerprint", "match" if fingerprint_ok else "MISMATCH")
+        )
+        rows.append((f"top-{args.k} parity vs golden", f"{matches}/{probes}"))
+        if not fingerprint_ok or matches != probes:
+            exit_code = 1
+    follower.close()
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"replicate promote: {args.state_dir} -> {args.replica_dir}"
+            ),
+        )
+    )
+    return exit_code
+
+
+def cmd_replicate_failover(args: argparse.Namespace) -> int:
+    from repro.replicate import FailoverDriver
+
+    dataset, serve_config, model_config, replication = _replication_pieces(args)
+    driver = FailoverDriver(
+        dataset,
+        state_dir=args.state_dir,
+        replica_dir=args.replica_dir,
+        k=args.k,
+        serve_config=serve_config,
+        model_config=model_config,
+        replication=replication,
+        malformed=args.malformed,
+        late=args.late,
+        duplicate=args.duplicate,
+        poll_every=args.poll_every,
+        probe_every=args.probe_every,
+        max_parity_users=args.max_parity_users,
+        seed=args.seed,
+    )
+    report = driver.run()
+    print(
+        format_table(
+            ["metric", "value"],
+            report.summary_rows(),
+            title=(
+                f"replicate failover: {args.dataset} (scale={args.scale}, "
+                f"seed={args.seed})"
+            ),
+        )
+    )
+    if args.output:
+        print(f"wrote {report.write_json(args.output)}")
+    return 0 if report.passed else 1
+
+
 def cmd_bench_train(args: argparse.Namespace) -> int:
     import json
 
@@ -599,6 +848,133 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the .prom / .jsonl exports ('' to skip)",
     )
     p.set_defaults(func=cmd_obs)
+
+    p = sub.add_parser(
+        "replicate",
+        help="WAL-shipping replication: primary / follower / promote / "
+        "failover roles",
+    )
+    rsub = p.add_subparsers(dest="role", required=True)
+
+    def _add_replicate_common(rp: argparse.ArgumentParser) -> None:
+        _add_common(rp)
+        rp.add_argument("--k", type=int, default=10)
+        rp.add_argument("--dim", type=int, default=32)
+        rp.add_argument(
+            "--batch-size", type=int, default=32, help="update micro-batch"
+        )
+        rp.add_argument("--capacity", type=int, default=256, help="queue capacity")
+        rp.add_argument(
+            "--heartbeat-every",
+            type=int,
+            default=16,
+            help="primary heartbeat cadence in accepted events",
+        )
+        rp.add_argument(
+            "--checkpoint-every",
+            type=int,
+            default=4,
+            help="checkpoint cadence in applied updates",
+        )
+
+    rp = rsub.add_parser(
+        "primary", help="run the writable update loop, publishing its WAL"
+    )
+    _add_replicate_common(rp)
+    rp.add_argument("--state-dir", required=True, help="directory this primary owns")
+    rp.add_argument(
+        "--events",
+        type=int,
+        default=None,
+        help="ingest only the first N stream events (default: all)",
+    )
+    rp.add_argument(
+        "--graceful",
+        action="store_true",
+        help="flush + checkpoint before stopping (default: abrupt kill)",
+    )
+    rp.set_defaults(func=cmd_replicate_primary)
+
+    rp = rsub.add_parser(
+        "follower",
+        help="bootstrap a read replica from a primary's directory, drain "
+        "its WAL and probe reads",
+    )
+    _add_replicate_common(rp)
+    rp.add_argument(
+        "--state-dir", required=True, help="the primary's directory to tail"
+    )
+    rp.add_argument(
+        "--probes", type=int, default=16, help="read probes after draining"
+    )
+    rp.set_defaults(func=cmd_replicate_follower)
+
+    rp = rsub.add_parser(
+        "promote",
+        help="drain a follower, promote it writable in --replica-dir and "
+        "resume ingest",
+    )
+    _add_replicate_common(rp)
+    rp.add_argument(
+        "--state-dir", required=True, help="the dead primary's directory"
+    )
+    rp.add_argument(
+        "--replica-dir", required=True, help="the promoted node's own directory"
+    )
+    rp.add_argument(
+        "--resume-from",
+        type=int,
+        default=0,
+        help="stream position ingest resumes from (= events the primary "
+        "ingested)",
+    )
+    rp.add_argument(
+        "--events",
+        type=int,
+        default=None,
+        help="resume at most N events (default: the rest of the stream)",
+    )
+    rp.add_argument(
+        "--verify-parity",
+        action="store_true",
+        help="compare state fingerprint + top-K against an uninterrupted "
+        "golden run",
+    )
+    rp.add_argument(
+        "--probes", type=int, default=16, help="parity probes when verifying"
+    )
+    rp.set_defaults(func=cmd_replicate_promote)
+
+    rp = rsub.add_parser(
+        "failover",
+        help="seeded kill-primary chaos gate: ledger + fingerprint + "
+        "top-K parity",
+    )
+    _add_replicate_common(rp)
+    rp.add_argument(
+        "--state-dir", required=True, help="the primary's directory"
+    )
+    rp.add_argument(
+        "--replica-dir", required=True, help="the promoted follower's directory"
+    )
+    rp.add_argument("--malformed", type=int, default=2)
+    rp.add_argument("--late", type=int, default=2)
+    rp.add_argument("--duplicate", type=int, default=2)
+    rp.add_argument(
+        "--poll-every", type=int, default=8, help="follower tail cadence"
+    )
+    rp.add_argument(
+        "--probe-every", type=int, default=64, help="replica read-probe cadence"
+    )
+    rp.add_argument(
+        "--max-parity-users", type=int, default=32, help="cap parity check users"
+    )
+    rp.add_argument(
+        "--output",
+        default=os.path.join("benchmarks", "results", "failover.json"),
+        help="JSON report path ('' to skip writing)",
+    )
+    rp.set_defaults(func=cmd_replicate_failover)
 
     p = sub.add_parser(
         "bench-train",

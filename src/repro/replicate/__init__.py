@@ -1,0 +1,48 @@
+"""repro.replicate: WAL-shipping read replicas with bounded staleness.
+
+Single-writer, many-reader replication built on the existing
+durability layer — no new log format, no consensus:
+
+* :mod:`~repro.replicate.config` — the shared on-disk layout (one
+  directory per role) and the :class:`ReplicationConfig` knobs
+  (heartbeat cadence, staleness bound, promotion policy);
+* :mod:`~repro.replicate.primary` — :class:`ReplicationPrimary`, the
+  writable update loop publishing its segment-rotated WAL plus
+  clock-stamped heartbeat records;
+* :mod:`~repro.replicate.follower` — :class:`ReplicationFollower`,
+  which bootstraps from the newest shipped checkpoint, tails the WAL
+  through :class:`~repro.resilience.wal.WalTailer`, replays decisions
+  into its own store/index (bitwise-parity discipline borrowed from
+  crash recovery) and serves read-only top-K with measured, bounded
+  staleness — or promotes itself to writable when the primary dies;
+* :mod:`~repro.replicate.failover` — :class:`FailoverDriver`, the
+  seeded kill-primary chaos gate: ledger reconciliation, state
+  fingerprint equality and top-K parity against an uninterrupted
+  golden run.
+"""
+
+from repro.replicate.config import ReplicationConfig, checkpoint_dir, wal_path
+from repro.replicate.failover import (
+    FailoverDriver,
+    FailoverReport,
+    state_fingerprint,
+)
+from repro.replicate.follower import (
+    ReplicationError,
+    ReplicationFollower,
+    StaleReadError,
+)
+from repro.replicate.primary import ReplicationPrimary
+
+__all__ = [
+    "ReplicationConfig",
+    "checkpoint_dir",
+    "wal_path",
+    "FailoverDriver",
+    "FailoverReport",
+    "state_fingerprint",
+    "ReplicationError",
+    "ReplicationFollower",
+    "StaleReadError",
+    "ReplicationPrimary",
+]

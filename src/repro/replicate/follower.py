@@ -1,0 +1,477 @@
+"""The follower role: bootstrap from a checkpoint, tail the WAL, serve.
+
+A :class:`ReplicationFollower` rebuilds the primary's learned state
+with exactly the machinery crash recovery trusts — newest checkpoint +
+WAL-prefix fold + deterministic replay — and then keeps replaying live:
+each :meth:`poll` fetches newly shipped records through a
+:class:`~repro.resilience.wal.WalTailer` and applies them to the
+replica's own :class:`~repro.serve.store.VersionedEmbeddingStore` /
+:class:`~repro.serve.index.TopKIndex`.  Because the WAL journals queue
+*decisions* (including exact micro-batch boundaries), the replica's
+model walks the identical stochastic path as the primary and its
+published snapshots are bitwise equal at every applied sequence number.
+
+Reads are served from the replica's latest published snapshot with
+**bounded staleness**: gauges ``replica.seq_lag`` (records behind at
+the start of the last poll), ``replica.lag_seconds`` (age of the
+newest heartbeat stamp) and ``replica.backlog_bytes`` (unshipped bytes
+on disk) expose the bound, and ``stale_reads="reject"`` turns it into a
+hard refusal past ``max_lag_records``.
+
+Promotion (:meth:`promote`) is the failover state machine's last step:
+drain the shipped log to its end, *inherit* it — the segments are
+copied into the replica's own directory so the new timeline keeps the
+full decision history — flip the service writable, preload the
+surviving FIFO residue, and checkpoint immediately so the promoted
+node is recoverable from its own state from the first post-promotion
+event.
+
+Threading: one driver thread calls ``bootstrap``/``poll``/``promote``;
+the internal lock makes the replication position and lag observables
+safely readable from other threads (serving threads, metric scrapes).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+import time
+from dataclasses import replace
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.config import SUPAConfig
+from repro.core.inslearn import InsLearnConfig, InsLearnTrainer
+from repro.core.model import SUPA
+from repro.datasets.base import Dataset
+from repro.graph.streams import EdgeStream, StreamEdge
+from repro.replicate.config import ReplicationConfig, checkpoint_dir, wal_path
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.recovery import fold_queue_log
+from repro.resilience.wal import WalRecord, WalTailer, iter_records, segment_paths
+from repro.serve.service import RecommendationService, ServeConfig
+
+#: follower lifecycle states (the promote state machine, DESIGN.md §13)
+BOOTSTRAPPING = "bootstrapping"
+TAILING = "tailing"
+PROMOTED = "promoted"
+
+
+class ReplicationError(RuntimeError):
+    """The shipped log contradicts the replica, or a protocol misuse."""
+
+
+class StaleReadError(RuntimeError):
+    """A ``stale_reads="reject"`` replica was asked to serve past its bound."""
+
+
+class ReplicationFollower:
+    """Tail a primary's WAL into a read-only serving replica.
+
+    Parameters
+    ----------
+    dataset:
+        Must be the primary's dataset (checkpoints cross-check
+        ``num_nodes``).
+    state_dir:
+        The *primary's* state directory (shipped WAL + checkpoints).
+    replica_dir:
+        This replica's own directory, used only on promotion; may also
+        be passed to :meth:`promote` directly.
+    serve_config / model_config / train_config:
+        Must match the primary's — replay re-derives state, it does not
+        ship hyper-parameters.  The follower forces ``read_only=True``
+        and strips the resilience knobs until promotion.
+    replication:
+        Staleness bound, heartbeat timeout and promotion knobs.
+    clock:
+        Injectable time source (seconds) for heartbeat-age accounting;
+        defaults to :func:`time.monotonic` and must share a clock
+        domain with the primary's heartbeat stamps.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        state_dir: str,
+        replica_dir: Optional[str] = None,
+        serve_config: Optional[ServeConfig] = None,
+        model_config: Optional[SUPAConfig] = None,
+        train_config: Optional[InsLearnConfig] = None,
+        replication: Optional[ReplicationConfig] = None,
+        clock: Optional[Callable[[], float]] = None,
+        trace: bool = False,
+    ):
+        self.dataset = dataset
+        self.state_dir = state_dir
+        self.replica_dir = replica_dir
+        self.replication = replication or ReplicationConfig()
+        self._model_config = model_config
+        self._train_config = train_config
+        self._trace = trace
+        self._clock = clock if clock is not None else time.monotonic
+        base = serve_config or ServeConfig()
+        # the primary's log is this replica's durability until promotion
+        self._serve_config = replace(
+            base,
+            read_only=True,
+            wal_path=None,
+            checkpoint_dir=None,
+            checkpoint_every=0,
+        )
+        self.service: Optional[RecommendationService] = None
+        self.tailer: Optional[WalTailer] = None
+        # Guards the replication position (applied seq, FIFO mirror,
+        # ledger tallies, heartbeat observations, lifecycle state) so
+        # lag probes and serving threads read a consistent view while
+        # the poll thread advances it.
+        self._lock = threading.Lock()
+        self._fifo: List[StreamEdge] = []
+        self._accepted_total = 0
+        self._watermark = float("-inf")
+        self._state = BOOTSTRAPPING
+        self._last_seq_applied = 0
+        self._last_hb_primary_t: Optional[float] = None
+        self._last_hb_seen_at: Optional[float] = None
+        self._heartbeats_seen = 0
+        self._lag_records = 0
+
+    # -------------------------------------------------------------- bootstrap
+
+    def bootstrap(self) -> "ReplicationFollower":
+        """Rebuild state from the newest shipped checkpoint + WAL prefix.
+
+        Uses the same fold/replay/cross-check discipline as
+        :func:`repro.resilience.recovery.recover`, then drains whatever
+        WAL suffix already exists and warms the read cache.  Returns
+        ``self`` for chaining.
+        """
+        if self.service is not None:
+            raise ReplicationError("follower is already bootstrapped")
+        shipped_wal = wal_path(self.state_dir)
+        manager = CheckpointManager(
+            checkpoint_dir(self.state_dir),
+            retain=self._serve_config.checkpoint_retain,
+        )
+        ckpt = manager.latest()
+        base_seq = ckpt.seq if ckpt is not None else 0
+        prefix = fold_queue_log(iter_records(shipped_wal), upto_seq=base_seq)
+        if ckpt is not None:
+            if list(ckpt.residue) != prefix.fifo:
+                raise ReplicationError(
+                    "shipped checkpoint residue disagrees with the WAL "
+                    f"prefix ({len(ckpt.residue)} vs {len(prefix.fifo)} "
+                    "buffered events)"
+                )
+            if ckpt.num_nodes and ckpt.num_nodes != self.dataset.num_nodes:
+                raise ReplicationError(
+                    f"shipped checkpoint covers {ckpt.num_nodes} nodes but "
+                    f"the dataset has {self.dataset.num_nodes}"
+                )
+
+        model = SUPA.for_dataset(self.dataset, self._model_config)
+        for edge in prefix.trained:
+            model.observe(edge.u, edge.v, edge.edge_type, edge.t)
+        if ckpt is not None:
+            model.load_state_dict(ckpt.model_state)
+            model.rng.bit_generator.state = ckpt.model_rng_state
+        train_config = self._train_config or InsLearnConfig(
+            batch_size=self._serve_config.batch_size,
+            max_iterations=4,
+            validation_interval=2,
+            validation_size=25,
+            patience=1,
+        )
+        trainer = InsLearnTrainer(model, train_config)
+        if ckpt is not None:
+            trainer.set_rng_state(ckpt.trainer_rng_state)
+
+        service = RecommendationService(
+            self.dataset,
+            model=model,
+            trainer=trainer,
+            config=self._serve_config,
+            trace=self._trace,
+            initial_clock=ckpt.clock if ckpt is not None else 0.0,
+        )
+        service.restore_runtime(
+            updates_applied=ckpt.updates_applied if ckpt is not None else 0,
+            max_timestamp=prefix.watermark,
+        )
+        for name in (
+            "replica.records_applied",
+            "replica.batches_applied",
+            "replica.heartbeats_seen",
+            "replica.bytes_shipped",
+        ):
+            service.metrics.counter(name)
+        for name in (
+            "replica.seq_lag",
+            "replica.lag_seconds",
+            "replica.backlog_bytes",
+        ):
+            service.metrics.gauge(name)
+        self.service = service
+        with self._lock:
+            self._fifo = list(prefix.fifo)
+            self._accepted_total = prefix.accepted
+            self._watermark = prefix.watermark
+            self._last_seq_applied = base_seq
+            self._state = TAILING
+        self.tailer = WalTailer(shipped_wal, from_seq=base_seq + 1)
+        self.poll()  # drain the suffix that already exists on disk
+        service.warm_cache()
+        return self
+
+    # ---------------------------------------------------------------- tailing
+
+    def poll(self, max_records: Optional[int] = None) -> int:
+        """Fetch and apply newly shipped records; returns the count.
+
+        Applies every complete record the tailer returns — a torn tail
+        at the shipped log's EOF simply stays pending for the next
+        poll.  Updates the lag gauges afterwards.
+        """
+        if self.tailer is None:
+            raise ReplicationError("call bootstrap() before poll()")
+        before = self.tailer.bytes_read
+        records = self.tailer.poll(max_records=max_records)
+        with self._lock:
+            self._lag_records = len(records)
+        for record in records:
+            self._apply(record)
+        self._publish_lag(applied=len(records), bytes_before=before)
+        return len(records)
+
+    def _apply(self, record: WalRecord) -> None:
+        """Replay one shipped record into the replica's state."""
+        if record.kind == "heartbeat":
+            now = self._clock()
+            with self._lock:
+                self._heartbeats_seen += 1
+                self._last_hb_primary_t = record.t
+                self._last_hb_seen_at = now
+                self._last_seq_applied = record.seq
+            return
+        if record.kind == "accept":
+            with self._lock:
+                self._fifo.append(record.edge)
+                self._accepted_total += 1
+                self._watermark = max(self._watermark, record.edge.t)
+                self._last_seq_applied = record.seq
+            return
+        if record.kind == "evict":
+            with self._lock:
+                if not self._fifo or self._fifo[0] != record.edge:
+                    raise ReplicationError(
+                        f"evict record #{record.seq} does not match the "
+                        "replica's queue head"
+                    )
+                self._fifo.pop(0)
+                self._last_seq_applied = record.seq
+            return
+        # batch: hand the chunk to the deterministic replay machinery
+        with self._lock:
+            if record.count > len(self._fifo):
+                raise ReplicationError(
+                    f"batch record #{record.seq} dispatches {record.count} "
+                    f"events but the replica buffers {len(self._fifo)}"
+                )
+            chunk = self._fifo[: record.count]
+            del self._fifo[: record.count]
+            self._last_seq_applied = record.seq
+        with self.service.resilience_suspended():
+            self.service.apply_recovered_batch(EdgeStream(chunk))
+        self.service.metrics.counter("replica.batches_applied").inc()
+
+    def _publish_lag(self, applied: int, bytes_before: int) -> None:
+        """Refresh the staleness observables after a poll."""
+        metrics = self.service.metrics
+        now = self._clock()
+        with self._lock:
+            hb_t = self._last_hb_primary_t
+        metrics.counter("replica.records_applied").inc(applied)
+        metrics.counter("replica.bytes_shipped").inc(
+            max(0, self.tailer.bytes_read - bytes_before)
+        )
+        metrics.counter("replica.heartbeats_seen").set(self.heartbeats_seen)
+        metrics.gauge("replica.seq_lag").set(applied)
+        metrics.gauge("replica.backlog_bytes").set(self.tailer.backlog_bytes)
+        if hb_t is not None:
+            metrics.gauge("replica.lag_seconds").set(max(0.0, now - hb_t))
+
+    # ---------------------------------------------------------------- serving
+
+    def recommend(self, user: int, k: int = 10) -> np.ndarray:
+        """Read-only top-``k`` from the replica's published snapshot.
+
+        Under ``stale_reads="reject"`` a replica whose last poll was
+        more than ``max_lag_records`` behind refuses with
+        :class:`StaleReadError` instead of serving a stale answer.
+        """
+        if self.service is None:
+            raise ReplicationError("call bootstrap() before recommend()")
+        if self.replication.stale_reads == "reject":
+            with self._lock:
+                lag = self._lag_records
+            if lag > self.replication.max_lag_records:
+                raise StaleReadError(
+                    f"replica was {lag} records behind at its last poll "
+                    f"(bound {self.replication.max_lag_records})"
+                )
+        return self.service.recommend(user, k)
+
+    # ------------------------------------------------------------- promotion
+
+    def primary_silent(self, timeout_seconds: Optional[float] = None) -> bool:
+        """True when no heartbeat arrived within the timeout.
+
+        Measured against the follower clock at the moment the last
+        heartbeat was *applied* — keep polling, or silence and a stalled
+        poller look alike.  ``False`` until the first heartbeat lands.
+        """
+        timeout = (
+            timeout_seconds
+            if timeout_seconds is not None
+            else self.replication.heartbeat_timeout_seconds
+        )
+        now = self._clock()
+        with self._lock:
+            seen_at = self._last_hb_seen_at
+        if seen_at is None:
+            return False
+        return (now - seen_at) > timeout
+
+    def promote(self, replica_dir: Optional[str] = None) -> None:
+        """Flip the drained replica into a writable primary-in-waiting.
+
+        The sequence (each step idempotent-safe to observe mid-way):
+
+        1. drain — poll until the shipped log yields nothing more;
+        2. inherit — copy the primary's WAL segments into
+           ``replica_dir`` so the new timeline owns the full decision
+           history (its own ``recover()`` replays it end to end);
+        3. attach — open the inherited WAL + a fresh checkpoint manager
+           on the service and flip it writable;
+        4. restore — preload the surviving FIFO residue and the
+           accepted-event ledger into the queue;
+        5. checkpoint — immediately, so the promoted node is
+           recoverable without replaying the whole inherited log.
+        """
+        if self.service is None:
+            raise ReplicationError("call bootstrap() before promote()")
+        with self._lock:
+            if self._state == PROMOTED:
+                raise ReplicationError("follower is already promoted")
+        target = replica_dir if replica_dir is not None else self.replica_dir
+        if target is None:
+            raise ReplicationError("promote() needs a replica_dir")
+        if os.path.abspath(target) == os.path.abspath(self.state_dir):
+            raise ReplicationError(
+                "replica_dir must differ from the primary's state_dir"
+            )
+        while self.poll():
+            pass
+
+        shipped_wal = wal_path(self.state_dir)
+        own_wal = wal_path(target)
+        os.makedirs(target, exist_ok=True)
+        for segment in segment_paths(shipped_wal):
+            shutil.copyfile(segment, own_wal + segment[len(shipped_wal):])
+
+        service = self.service
+        service.attach_durability(
+            own_wal,
+            checkpoint_dir=checkpoint_dir(target),
+            checkpoint_every=self.replication.checkpoint_every,
+        )
+        with self._lock:
+            fifo = list(self._fifo)
+            accepted = self._accepted_total
+            watermark = self._watermark
+            applied_seq = self._last_seq_applied
+        if service.wal.last_seq != applied_seq:
+            raise ReplicationError(
+                f"inherited WAL ends at seq {service.wal.last_seq} but the "
+                f"replica applied through seq {applied_seq}"
+            )
+        if fifo:
+            service.queue.preload(fifo)
+        service.queue.restore_accounting(
+            accepted=accepted, max_timestamp=watermark
+        )
+        service.metrics.counter("ingest.accepted").set(service.queue.accepted)
+        service.set_writable()
+        with self._lock:
+            self._state = PROMOTED
+        self.replica_dir = target
+        service.checkpoint()
+        service.metrics.gauge("replica.seq_lag").set(0)
+        service.metrics.gauge("replica.backlog_bytes").set(0)
+
+    def ingest(self, edge: StreamEdge) -> bool:
+        """Offer one event to a *promoted* replica (the new writer)."""
+        with self._lock:
+            state = self._state
+        if state != PROMOTED:
+            raise ReplicationError(
+                "follower is read-only until promoted; reads only"
+            )
+        return self.service.ingest(edge)
+
+    def flush(self) -> int:
+        """Drain the promoted replica's buffered events (quiesce)."""
+        with self._lock:
+            state = self._state
+        if state != PROMOTED:
+            raise ReplicationError("only a promoted follower can flush")
+        return self.service.flush()
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def state(self) -> str:
+        """Lifecycle state: bootstrapping → tailing → promoted."""
+        with self._lock:
+            return self._state
+
+    @property
+    def applied_seq(self) -> int:
+        """Newest shipped sequence number applied to the replica."""
+        with self._lock:
+            return self._last_seq_applied
+
+    @property
+    def accepted_total(self) -> int:
+        """Accept records applied so far (the inherited ledger)."""
+        with self._lock:
+            return self._accepted_total
+
+    @property
+    def residue(self) -> int:
+        """Accepted-but-untrained events mirrored from the primary queue."""
+        with self._lock:
+            return len(self._fifo)
+
+    @property
+    def heartbeats_seen(self) -> int:
+        with self._lock:
+            return self._heartbeats_seen
+
+    @property
+    def lag_records(self) -> int:
+        """Records the replica was behind at the start of its last poll."""
+        with self._lock:
+            return self._lag_records
+
+    def lag_from(self, primary_seq: int) -> int:
+        """Records behind a known primary position (external measure)."""
+        with self._lock:
+            return max(0, int(primary_seq) - self._last_seq_applied)
+
+    def close(self) -> None:
+        """Release the replica's own WAL handle, if promotion opened one."""
+        if self.service is not None:
+            self.service.close()

@@ -2,9 +2,11 @@
 
 Four pieces, composing into crash recovery with bitwise parity:
 
-* :mod:`~repro.resilience.wal` — an append-only, CRC-checksummed
-  write-ahead log of every :class:`~repro.serve.ingest.EventQueue`
-  decision (accept / evict / batch), tolerant of torn tails;
+* :mod:`~repro.resilience.wal` — an append-only, CRC-checksummed,
+  segment-rotated write-ahead log of every
+  :class:`~repro.serve.ingest.EventQueue` decision (accept / evict /
+  batch, plus replication heartbeats), tolerant of torn tails, with a
+  :class:`WalTailer` for live follow reads against a concurrent writer;
 * :mod:`~repro.resilience.checkpoint` — atomic (write-temp + rename)
   snapshots of the full learned state: ``SUPA.state_dict()``, both RNG
   streams, the queue residue and the WAL position;
@@ -29,8 +31,22 @@ from repro.resilience.faults import (
     Fault,
     FaultPlan,
 )
-from repro.resilience.recovery import RecoveryError, RecoveryResult, recover
-from repro.resilience.wal import WalRecord, WriteAheadLog, scan
+from repro.resilience.recovery import (
+    QueueLogState,
+    RecoveryError,
+    RecoveryResult,
+    fold_queue_log,
+    recover,
+)
+from repro.resilience.wal import (
+    WalRecord,
+    WalTailError,
+    WalTailer,
+    WriteAheadLog,
+    iter_records,
+    scan,
+    segment_paths,
+)
 
 __all__ = [
     "Checkpoint",
@@ -41,10 +57,16 @@ __all__ = [
     "ChaosReport",
     "Fault",
     "FaultPlan",
+    "QueueLogState",
     "RecoveryError",
     "RecoveryResult",
+    "fold_queue_log",
     "recover",
     "WalRecord",
+    "WalTailError",
+    "WalTailer",
     "WriteAheadLog",
+    "iter_records",
     "scan",
+    "segment_paths",
 ]

@@ -10,7 +10,8 @@ its last journaled decision — the same golden-parity discipline as
    change.  Replaying it reconstructs the exact FIFO evolution of the
    queue — in particular the exact micro-batch boundaries the trainer
    saw, independent of when pauses or flushes happened to trigger
-   dispatch.
+   dispatch.  (``heartbeat`` records are liveness metadata for the
+   replication layer and fold to a no-op.)
 2. Rebuilding the graph consumes no randomness: ``SUPA.observe`` only
    inserts edges and ticks the (degree-derived, RNG-free) negative
    sampler's refresh schedule.  Observing the trained prefix therefore
@@ -28,12 +29,15 @@ its last journaled decision — the same golden-parity discipline as
 
 With no usable checkpoint, recovery degrades gracefully to replaying
 the *entire* WAL from a fresh model — slower, same parity guarantee.
+The WAL is streamed (:func:`~repro.resilience.wal.iter_records`), never
+materialised whole, so recovery memory is bounded by the *learned*
+state, not the log length.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
 
 from repro.core.config import SUPAConfig
 from repro.core.inslearn import InsLearnConfig, InsLearnTrainer
@@ -41,7 +45,7 @@ from repro.core.model import SUPA
 from repro.datasets.base import Dataset
 from repro.graph.streams import EdgeStream, StreamEdge
 from repro.resilience.checkpoint import CheckpointManager
-from repro.resilience.wal import WalRecord, scan
+from repro.resilience.wal import WalRecord, iter_records, scan
 from repro.serve.service import RecommendationService, ServeConfig
 from repro.utils.timer import Timer
 
@@ -69,32 +73,55 @@ class RecoveryResult:
     recovery_seconds: float
 
 
-def _queue_log_state(
-    records: List[WalRecord], upto_seq: Optional[int]
-) -> Tuple[List[StreamEdge], List[StreamEdge]]:
-    """Fold queue decisions up to ``upto_seq`` into (trained, fifo)."""
-    trained: List[StreamEdge] = []
-    fifo: List[StreamEdge] = []
+@dataclass
+class QueueLogState:
+    """FIFO evolution folded out of a WAL prefix."""
+
+    #: events handed to the trainer, in micro-batch order
+    trained: List[StreamEdge] = field(default_factory=list)
+    #: events accepted but still buffered (the queue residue)
+    fifo: List[StreamEdge] = field(default_factory=list)
+    #: total ``accept`` records folded (ledger accounting)
+    accepted: int = 0
+    #: newest accepted-event timestamp (late-arrival watermark)
+    watermark: float = float("-inf")
+
+
+def fold_queue_log(
+    records: Iterable[WalRecord], upto_seq: Optional[int] = None
+) -> QueueLogState:
+    """Fold queue decisions up to ``upto_seq`` into a :class:`QueueLogState`.
+
+    Accepts any record iterable — a :func:`~repro.resilience.wal.iter_records`
+    stream or an in-memory list — and stops without exhausting it once
+    ``upto_seq`` is passed.  Heartbeats are skipped: they journal writer
+    liveness, not queue decisions.
+    """
+    state = QueueLogState()
     for record in records:
         if upto_seq is not None and record.seq > upto_seq:
             break
+        if record.kind == "heartbeat":
+            continue
         if record.kind == "accept":
-            fifo.append(record.edge)
+            state.fifo.append(record.edge)
+            state.accepted += 1
+            state.watermark = max(state.watermark, record.edge.t)
         elif record.kind == "evict":
-            if not fifo or fifo[0] != record.edge:
+            if not state.fifo or state.fifo[0] != record.edge:
                 raise RecoveryError(
                     f"evict record #{record.seq} does not match the queue head"
                 )
-            fifo.pop(0)
+            state.fifo.pop(0)
         else:  # batch
-            if record.count > len(fifo):
+            if record.count > len(state.fifo):
                 raise RecoveryError(
                     f"batch record #{record.seq} dispatches {record.count} "
-                    f"events but only {len(fifo)} are buffered"
+                    f"events but only {len(state.fifo)} are buffered"
                 )
-            trained.extend(fifo[: record.count])
-            del fifo[: record.count]
-    return trained, fifo
+            state.trained.extend(state.fifo[: record.count])
+            del state.fifo[: record.count]
+    return state
 
 
 def recover(
@@ -121,15 +148,17 @@ def recover(
             serve_config.checkpoint_dir, retain=serve_config.checkpoint_retain
         )
         ckpt = manager.latest()
-        wal_scan = scan(serve_config.wal_path)
-        records = wal_scan.records
+        status = scan(serve_config.wal_path, collect_records=False)
         base_seq = ckpt.seq if ckpt is not None else 0
-        if base_seq > wal_scan.last_seq:
+        if base_seq > status.last_seq:
             raise RecoveryError(
-                f"WAL ends at seq {wal_scan.last_seq} but the newest "
+                f"WAL ends at seq {status.last_seq} but the newest "
                 f"checkpoint covers seq {base_seq} (log truncated?)"
             )
-        trained, fifo = _queue_log_state(records, base_seq)
+        prefix = fold_queue_log(
+            iter_records(serve_config.wal_path), upto_seq=base_seq
+        )
+        fifo = prefix.fifo
         if ckpt is not None:
             if list(ckpt.residue) != fifo:
                 raise RecoveryError(
@@ -145,7 +174,7 @@ def recover(
         # 1. rebuild graph + sampler schedule (consumes no RNG), then
         #    restore the learned state and both RNG streams on top
         model = SUPA.for_dataset(dataset, model_config)
-        for edge in trained:
+        for edge in prefix.trained:
             model.observe(edge.u, edge.v, edge.edge_type, edge.t)
         if ckpt is not None:
             model.load_state_dict(ckpt.model_state)
@@ -171,59 +200,63 @@ def recover(
             trace=trace,
             initial_clock=ckpt.clock if ckpt is not None else 0.0,
         )
-        watermark = max(
-            (r.edge.t for r in records if r.kind == "accept"),
-            default=float("-inf"),
-        )
-        service.restore_runtime(
-            updates_applied=ckpt.updates_applied if ckpt is not None else 0,
-            max_timestamp=watermark,
-        )
 
         # 3. replay the post-checkpoint suffix: batches retrain, evicts
         #    pop (their deadletters were the dead process's, not ours)
         replayed_events = 0
         replayed_batches = 0
+        accepted_total = prefix.accepted
+        watermark = prefix.watermark
+        suffix_batches: List[List[StreamEdge]] = []
+        for record in iter_records(
+            serve_config.wal_path, from_seq=base_seq + 1
+        ):
+            if record.kind == "heartbeat":
+                continue
+            if record.kind == "accept":
+                fifo.append(record.edge)
+                replayed_events += 1
+                accepted_total += 1
+                watermark = max(watermark, record.edge.t)
+            elif record.kind == "evict":
+                if not fifo or fifo[0] != record.edge:
+                    raise RecoveryError(
+                        f"evict record #{record.seq} does not match the "
+                        "queue head during suffix replay"
+                    )
+                fifo.pop(0)
+            else:
+                if record.count > len(fifo):
+                    raise RecoveryError(
+                        f"batch record #{record.seq} dispatches "
+                        f"{record.count} events but only {len(fifo)} "
+                        "are buffered during suffix replay"
+                    )
+                chunk, fifo = fifo[: record.count], fifo[record.count :]
+                suffix_batches.append(chunk)
+        service.restore_runtime(
+            updates_applied=ckpt.updates_applied if ckpt is not None else 0,
+            max_timestamp=watermark,
+        )
         with service.resilience_suspended():
-            for record in records:
-                if record.seq <= base_seq:
-                    continue
-                if record.kind == "accept":
-                    fifo.append(record.edge)
-                    replayed_events += 1
-                elif record.kind == "evict":
-                    if not fifo or fifo[0] != record.edge:
-                        raise RecoveryError(
-                            f"evict record #{record.seq} does not match the "
-                            "queue head during suffix replay"
-                        )
-                    fifo.pop(0)
-                else:
-                    if record.count > len(fifo):
-                        raise RecoveryError(
-                            f"batch record #{record.seq} dispatches "
-                            f"{record.count} events but only {len(fifo)} "
-                            "are buffered during suffix replay"
-                        )
-                    chunk, fifo = fifo[: record.count], fifo[record.count :]
-                    service.apply_recovered_batch(EdgeStream(chunk))
-                    replayed_batches += 1
+            for chunk in suffix_batches:
+                service.apply_recovered_batch(EdgeStream(chunk))
+                replayed_batches += 1
         if fifo:
             service.queue.preload(fifo)
         # accepted-event accounting continues across process lives: every
         # accept record in the log was an acceptance this service inherits
-        service.queue.restore_accounting(
-            accepted=sum(1 for r in records if r.kind == "accept")
-        )
+        service.queue.restore_accounting(accepted=accepted_total)
         service.metrics.counter("ingest.accepted").set(service.queue.accepted)
         service.metrics.gauge("queue.pending").set(service.queue.pending)
         service.metrics.counter("recovery.replayed_events").inc(replayed_events)
+        service.warm_cache()
     return RecoveryResult(
         service=service,
         checkpoint_seq=base_seq,
         replayed_events=replayed_events,
         replayed_batches=replayed_batches,
         residue_events=len(fifo),
-        torn_records_dropped=wal_scan.dropped_records,
+        torn_records_dropped=status.dropped_records,
         recovery_seconds=timer.elapsed,
     )

@@ -10,6 +10,12 @@ including the exact micro-batch boundaries the trainer saw — which is
 what makes crash recovery (:mod:`repro.resilience.recovery`) bitwise
 identical to an uninterrupted run.
 
+The log doubles as a replication stream (:mod:`repro.replicate`): a
+primary emits periodic ``heartbeat`` records carrying its clock so
+followers tailing the log can both measure staleness and detect primary
+silence.  Heartbeats are liveness metadata — they carry no queue
+decision and every replayer skips them.
+
 Format: one JSON record per line, smallest-possible canonical encoding
 (sorted keys, no whitespace) with a ``crc`` field holding the CRC-32 of
 the canonical record body.  Sequence numbers are contiguous from 1; a
@@ -17,6 +23,11 @@ gap, a failed checksum or an unterminated final line marks the end of
 the valid prefix.  A torn tail — the partially-flushed final record of
 a crashed process — is *detected and dropped*, never fatal: opening the
 log truncates it back to the valid prefix and appends from there.
+
+Large logs rotate into Kafka-style segments: the root ``path`` is always
+the oldest segment and rotation opens a side file named
+``{path}.{first_seq:012d}`` — never a rename, so a concurrent tailer's
+committed (segment, offset) position stays valid across rotations.
 
 Timestamps survive the JSON round-trip bit-exactly: ``json`` emits the
 shortest ``repr`` that parses back to the identical IEEE-754 double.
@@ -29,41 +40,48 @@ import os
 import threading
 import zlib
 from dataclasses import dataclass, field
-from typing import IO, List, Optional
+from typing import IO, Iterator, List, Optional, Tuple
 
 from repro.graph.streams import StreamEdge
 
-#: record kinds a WAL may contain, in the queue's own vocabulary
-WAL_KINDS = ("accept", "evict", "batch")
+#: record kinds a WAL may contain: queue decisions + liveness heartbeats
+WAL_KINDS = ("accept", "evict", "batch", "heartbeat")
+
+#: width of the zero-padded first-seq suffix in rotated segment names
+_SEGMENT_SUFFIX_DIGITS = 12
 
 
 @dataclass(frozen=True)
 class WalRecord:
-    """One journaled queue decision.
+    """One journaled queue decision (or liveness heartbeat).
 
     ``edge`` is set for ``accept``/``evict`` records; ``count`` is the
-    micro-batch size for ``batch`` records.
+    micro-batch size for ``batch`` records; ``t`` is the writer's clock
+    reading for ``heartbeat`` records.
     """
 
     seq: int
     kind: str
     edge: Optional[StreamEdge] = None
     count: int = 0
+    t: float = 0.0
 
 
 @dataclass
 class WalScan:
-    """The valid prefix of a log file plus what was dropped after it."""
+    """The valid prefix of a log plus what was dropped after it."""
 
     records: List[WalRecord] = field(default_factory=list)
-    #: byte length of the valid prefix (truncation point for repair)
+    #: byte offset of the valid prefix *within* ``valid_path``
     valid_bytes: int = 0
     #: records after the valid prefix (torn tail / corruption), dropped
     dropped_records: int = 0
-
-    @property
-    def last_seq(self) -> int:
-        return self.records[-1].seq if self.records else 0
+    #: highest sequence number in the valid prefix (0 = empty log)
+    last_seq: int = 0
+    #: segment file holding the end of the valid prefix (truncation target)
+    valid_path: str = ""
+    #: whole segment files past the valid prefix (removal targets)
+    dropped_segments: List[str] = field(default_factory=list)
 
 
 def _canonical(body: dict) -> bytes:
@@ -79,6 +97,8 @@ def _encode(record: WalRecord) -> bytes:
         body["t"] = float(record.edge.t)
     if record.kind == "batch":
         body["n"] = int(record.count)
+    if record.kind == "heartbeat":
+        body["t"] = float(record.t)
     canonical = _canonical(body)
     crc = zlib.crc32(canonical) & 0xFFFFFFFF
     wrapped = dict(body)
@@ -103,6 +123,7 @@ def _decode(line: bytes) -> Optional[WalRecord]:
         return None
     edge: Optional[StreamEdge] = None
     count = 0
+    stamp = 0.0
     if kind in ("accept", "evict"):
         try:
             edge = StreamEdge(
@@ -113,54 +134,153 @@ def _decode(line: bytes) -> Optional[WalRecord]:
             )
         except (KeyError, TypeError, ValueError):
             return None
-    else:
+    elif kind == "batch":
         count = payload.get("n")
         if not isinstance(count, int) or count < 1:
             return None
-    return WalRecord(seq=seq, kind=kind, edge=edge, count=count)
+    else:  # heartbeat
+        raw = payload.get("t")
+        if not isinstance(raw, (int, float)) or isinstance(raw, bool):
+            return None
+        stamp = float(raw)
+    return WalRecord(seq=seq, kind=kind, edge=edge, count=count, t=stamp)
 
 
-def scan(path: str) -> WalScan:
+def segment_paths(path: str) -> List[str]:
+    """On-disk segment files of the log rooted at ``path``, oldest first.
+
+    A non-rotating log is the single file ``path``.  Rotation adds side
+    files ``{path}.{first_seq:012d}``; the plain file, when present, is
+    always the oldest segment because rotation never renames it.
+    """
+    out: List[str] = []
+    if os.path.exists(path):
+        out.append(path)
+    parent = os.path.dirname(path) or "."
+    base = os.path.basename(path)
+    if os.path.isdir(parent):
+        numbered: List[Tuple[int, str]] = []
+        prefix = base + "."
+        for name in os.listdir(parent):
+            if not name.startswith(prefix):
+                continue
+            suffix = name[len(prefix):]
+            if len(suffix) == _SEGMENT_SUFFIX_DIGITS and suffix.isdigit():
+                numbered.append((int(suffix), f"{path}.{suffix}"))
+        numbered.sort()
+        out.extend(seg for _, seg in numbered)
+    return out
+
+
+def _segment_start(path: str, segment: str) -> int:
+    """First sequence number a segment file is named to contain."""
+    if segment == path:
+        return 1
+    return int(segment[len(path) + 1:])
+
+
+def _count_lines(data: bytes) -> int:
+    return sum(1 for piece in data.split(b"\n") if piece)
+
+
+def iter_records(path: str, from_seq: int = 1) -> Iterator[WalRecord]:
+    """Stream the valid record prefix of ``path`` from ``from_seq`` on.
+
+    Unlike :func:`scan` this never materialises the log: records are
+    decoded one line at a time across all segments, and segments whose
+    name proves they end before ``from_seq`` are skipped without being
+    read.  Iteration ends at the first torn/invalid/out-of-sequence
+    line — the same valid-prefix contract as :func:`scan`.
+    """
+    from_seq = max(1, int(from_seq))
+    segments = segment_paths(path)
+    if not segments:
+        return
+    # seek: start at the newest segment whose first seq is <= from_seq
+    start_index = 0
+    for index, segment in enumerate(segments):
+        if _segment_start(path, segment) <= from_seq:
+            start_index = index
+    expected = _segment_start(path, segments[start_index])
+    for segment in segments[start_index:]:
+        if _segment_start(path, segment) != expected:
+            return  # gap between segments: valid prefix ends here
+        with open(segment, "rb") as fh:
+            while True:
+                line = fh.readline()
+                if not line:
+                    break
+                if not line.endswith(b"\n"):
+                    return  # torn tail at true EOF
+                record = _decode(line[:-1])
+                if record is None or record.seq != expected:
+                    return
+                expected += 1
+                if record.seq >= from_seq:
+                    yield record
+
+
+def scan(path: str, collect_records: bool = True) -> WalScan:
     """Read the valid record prefix of ``path`` (missing file: empty).
 
     Scanning stops at the first unterminated, unparsable, checksum-
     failing or out-of-sequence line; everything from there on counts as
     dropped.  This is the torn-tail tolerance contract: a crash mid-
     append loses at most the record being written, never the log.
+
+    With ``collect_records=False`` the log is still fully validated
+    (``last_seq``/``valid_bytes``/``dropped_records`` are exact) but the
+    record list stays empty — use :func:`iter_records` to stream the
+    contents without holding them all in memory.
     """
-    result = WalScan()
-    if not os.path.exists(path):
+    result = WalScan(valid_path=path)
+    segments = segment_paths(path)
+    if not segments:
         return result
-    with open(path, "rb") as fh:
-        data = fh.read()
-    offset = 0
     expected_seq = 1
-    while offset < len(data):
-        newline = data.find(b"\n", offset)
-        if newline < 0:
-            result.dropped_records += 1  # unterminated final record
-            break
-        record = _decode(data[offset:newline])
-        if record is None or record.seq != expected_seq:
-            result.dropped_records += sum(
-                1 for piece in data[offset:].split(b"\n") if piece
-            )
-            break
-        result.records.append(record)
-        expected_seq += 1
-        offset = newline + 1
-        result.valid_bytes = offset
+    stopped = False
+    for segment in segments:
+        if not stopped and _segment_start(path, segment) != expected_seq:
+            stopped = True  # gap between segments: prefix ended earlier
+        if stopped:
+            result.dropped_segments.append(segment)
+            with open(segment, "rb") as fh:
+                result.dropped_records += _count_lines(fh.read())
+            continue
+        result.valid_path = segment
+        result.valid_bytes = 0
+        with open(segment, "rb") as fh:
+            while True:
+                line = fh.readline()
+                if not line:
+                    break
+                if not line.endswith(b"\n"):
+                    result.dropped_records += 1  # unterminated final record
+                    stopped = True
+                    break
+                record = _decode(line[:-1])
+                if record is None or record.seq != expected_seq:
+                    if line[:-1]:
+                        result.dropped_records += 1
+                    result.dropped_records += _count_lines(fh.read())
+                    stopped = True
+                    break
+                if collect_records:
+                    result.records.append(record)
+                result.last_seq = record.seq
+                expected_seq += 1
+                result.valid_bytes = fh.tell()
     return result
 
 
 class WriteAheadLog:
-    """Appender over one journal file, self-repairing on open.
+    """Appender over one journal, self-repairing on open.
 
     Parameters
     ----------
     path:
-        Journal file; parent directories are created, an existing file
-        is scanned and truncated back to its valid prefix so appends
+        Journal root; parent directories are created, existing segments
+        are scanned and truncated back to their valid prefix so appends
         continue the sequence.
     fsync:
         ``True`` forces an ``os.fsync`` after every append (durability
@@ -170,28 +290,51 @@ class WriteAheadLog:
         Optional :class:`~repro.obs.metrics.MetricsRegistry`; appends
         increment ``wal.appends`` and a repaired torn tail increments
         ``wal.torn_records_dropped``.
+    segment_bytes:
+        When set, an append that leaves the active segment at or above
+        this size rotates to a fresh segment named by the next sequence
+        number.  ``None`` (default) keeps the single-file layout.
     """
 
-    def __init__(self, path: str, fsync: bool = False, metrics=None):
+    def __init__(
+        self,
+        path: str,
+        fsync: bool = False,
+        metrics=None,
+        segment_bytes: Optional[int] = None,
+    ):
+        if segment_bytes is not None and segment_bytes < 1:
+            raise ValueError(
+                f"segment_bytes must be >= 1 when set, got {segment_bytes}"
+            )
         self.path = path
         self.fsync = fsync
+        self.segment_bytes = segment_bytes
         self._metrics = metrics
-        # Guards the file handle and the sequence counter: one append =
-        # one contiguous seq + one uninterleaved record line.
+        # Guards the file handle, the sequence counter and the active-
+        # segment bookkeeping: one append = one contiguous seq + one
+        # uninterleaved record line in exactly one segment.
         self._lock = threading.Lock()
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
-        recovered = scan(path)
+        recovered = scan(path, collect_records=False)
         self.last_seq = recovered.last_seq
         self.torn_records_dropped = recovered.dropped_records
-        if os.path.exists(path) and recovered.valid_bytes < os.path.getsize(path):
-            with open(path, "r+b") as fh:
+        if (
+            os.path.exists(recovered.valid_path)
+            and recovered.valid_bytes < os.path.getsize(recovered.valid_path)
+        ):
+            with open(recovered.valid_path, "r+b") as fh:
                 fh.truncate(recovered.valid_bytes)
+        for stale in recovered.dropped_segments:
+            os.remove(stale)
         if metrics is not None and self.torn_records_dropped:
             metrics.counter("wal.torn_records_dropped").inc(
                 self.torn_records_dropped
             )
-        self._fh: Optional[IO[bytes]] = open(path, "ab")
+        self._active_path = recovered.valid_path
+        self._active_bytes = recovered.valid_bytes
+        self._fh: Optional[IO[bytes]] = open(self._active_path, "ab")
 
     # ------------------------------------------------------------- appending
 
@@ -209,27 +352,64 @@ class WriteAheadLog:
             raise ValueError(f"batch count must be >= 1, got {count}")
         return self._append("batch", count=count)
 
+    def append_heartbeat(self, t: float) -> WalRecord:
+        """Journal a liveness heartbeat stamped with the writer's clock."""
+        return self._append("heartbeat", t=float(t))
+
     def _append(
-        self, kind: str, edge: Optional[StreamEdge] = None, count: int = 0
+        self,
+        kind: str,
+        edge: Optional[StreamEdge] = None,
+        count: int = 0,
+        t: float = 0.0,
     ) -> WalRecord:
         with self._lock:
             if self._fh is None:
                 raise ValueError("write-ahead log is closed")
-            record = WalRecord(self.last_seq + 1, kind, edge, count)
+            record = WalRecord(self.last_seq + 1, kind, edge, count, t)
             # Writing under the lock IS the durability contract: the
             # contiguous-seq invariant requires assigning the sequence
             # number and emitting its record as one atomic step.  The
             # write is an append to a local file — bounded, no network.
-            self._fh.write(_encode(record))
+            payload = _encode(record)
+            self._fh.write(payload)
             self._fh.flush()
             if self.fsync:
                 os.fsync(self._fh.fileno())  # reprolint: disable=hold-and-call
             self.last_seq = record.seq
+            self._active_bytes += len(payload)
+            if (
+                self.segment_bytes is not None
+                and self._active_bytes >= self.segment_bytes
+            ):
+                # Rotation must be atomic with the sequence counter: the
+                # new segment's name claims the *next* seq, so no append
+                # may slip in between sizing the old file and opening
+                # the new one.  Both are bounded local-file operations.
+                self._fh.close()
+                next_path = (
+                    f"{self.path}."
+                    f"{self.last_seq + 1:0{_SEGMENT_SUFFIX_DIGITS}d}"
+                )
+                self._fh = open(next_path, "ab")  # reprolint: disable=hold-and-call
+                self._active_path = next_path
+                self._active_bytes = 0
         if self._metrics is not None:
             self._metrics.counter("wal.appends").inc()
+            self._metrics.counter("wal.bytes_appended").inc(len(payload))
         return record
 
     # ------------------------------------------------------------- lifecycle
+
+    @property
+    def active_path(self) -> str:
+        """Segment file currently receiving appends."""
+        with self._lock:
+            return self._active_path
+
+    def segments(self) -> List[str]:
+        """All on-disk segments of this log, oldest first."""
+        return segment_paths(self.path)
 
     @property
     def closed(self) -> bool:
@@ -247,3 +427,181 @@ class WriteAheadLog:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class WalTailError(RuntimeError):
+    """The tailed log contradicts itself (sequence gap or corruption)."""
+
+
+class WalTailer:
+    """Incremental reader over a WAL a live writer may still be appending.
+
+    Each :meth:`poll` re-opens the log at the last *committed*
+    (segment, offset) position and returns every complete, valid record
+    appended since.  The committed position only ever advances past
+    fully-validated records, which makes the tailer safe against the
+    writer's crash-repair truncation: a recovering
+    :class:`WriteAheadLog` truncates only the *invalid* suffix, and the
+    tailer never committed into it — an unterminated or missing tail is
+    reported as "pending" (empty poll) and simply retried.
+
+    A torn tail at true EOF is therefore *pending*, while a terminated-
+    but-invalid line or a sequence gap is real corruption and raises
+    :class:`WalTailError`.
+
+    Single-consumer: one thread drives :meth:`poll`; the lock makes the
+    position and tallies safely readable from other threads (lag
+    probes, metrics scrapes).
+    """
+
+    def __init__(self, path: str, from_seq: int = 1, metrics=None):
+        self.path = path
+        self._metrics = metrics
+        # Guards the committed read position and tallies so lag probes
+        # from other threads see a consistent (segment, offset, seq).
+        self._lock = threading.Lock()
+        self._next_seq = max(1, int(from_seq))
+        self._segment: Optional[str] = None
+        self._offset = 0
+        self._bytes_read = 0
+        self._records_read = 0
+        self._backlog_bytes = 0
+
+    # --------------------------------------------------------------- polling
+
+    def poll(self, max_records: Optional[int] = None) -> List[WalRecord]:
+        """Return records appended since the last poll (may be empty).
+
+        An empty list means "nothing complete yet" — either the writer
+        is idle or its final record is still being flushed.  I/O runs
+        outside the lock; the committed position is updated only after
+        the read succeeds, so a raising poll leaves the tailer where it
+        was.
+        """
+        with self._lock:
+            segment, offset, next_seq = self._segment, self._offset, self._next_seq
+        records, segment, offset, next_seq, consumed = self._read(
+            segment, offset, next_seq, max_records
+        )
+        backlog = self._measure_backlog(segment, offset)
+        with self._lock:
+            self._segment = segment
+            self._offset = offset
+            self._next_seq = next_seq
+            self._bytes_read += consumed
+            self._records_read += len(records)
+            self._backlog_bytes = backlog
+        if self._metrics is not None and records:
+            self._metrics.counter("wal.tail_records").inc(len(records))
+            self._metrics.counter("wal.tail_bytes").inc(consumed)
+        return records
+
+    def _read(
+        self,
+        segment: Optional[str],
+        offset: int,
+        next_seq: int,
+        max_records: Optional[int],
+    ) -> Tuple[List[WalRecord], Optional[str], int, int, int]:
+        """Read from a committed position; returns the advanced position."""
+        records: List[WalRecord] = []
+        consumed = 0
+        segments = segment_paths(self.path)
+        if not segments:
+            if segment is not None:
+                raise WalTailError(
+                    f"tailed log {self.path!r} vanished after seq {next_seq - 1}"
+                )
+            return records, segment, offset, next_seq, consumed
+        if segment is None:
+            # first poll: start at the newest segment named <= next_seq
+            index = 0
+            for i, candidate in enumerate(segments):
+                if _segment_start(self.path, candidate) <= next_seq:
+                    index = i
+            segment, offset = segments[index], 0
+        elif segment not in segments:
+            raise WalTailError(
+                f"committed segment {segment!r} vanished from {self.path!r}"
+            )
+        else:
+            index = segments.index(segment)
+        while True:
+            with open(segment, "rb") as fh:
+                fh.seek(offset)
+                advance = False
+                while True:
+                    if max_records is not None and len(records) >= max_records:
+                        return records, segment, offset, next_seq, consumed
+                    line = fh.readline()
+                    if not line:
+                        advance = True  # true EOF of this segment
+                        break
+                    if not line.endswith(b"\n"):
+                        # live writer's partial flush, or a crashed
+                        # writer's torn tail: pending either way —
+                        # retry from the same committed offset
+                        return records, segment, offset, next_seq, consumed
+                    record = _decode(line[:-1])
+                    if record is None:
+                        raise WalTailError(
+                            f"corrupt record after seq {next_seq - 1} "
+                            f"in {segment!r}"
+                        )
+                    if record.seq < next_seq:
+                        offset = fh.tell()  # before our start: skip
+                        continue
+                    if record.seq > next_seq:
+                        raise WalTailError(
+                            f"sequence gap: expected {next_seq}, "
+                            f"found {record.seq} in {segment!r}"
+                        )
+                    records.append(record)
+                    consumed += len(line)
+                    next_seq += 1
+                    offset = fh.tell()
+            if not advance or index >= len(segments) - 1:
+                return records, segment, offset, next_seq, consumed
+            index += 1
+            segment, offset = segments[index], 0
+
+    def _measure_backlog(self, segment: Optional[str], offset: int) -> int:
+        """Bytes on disk past the committed position (shipping backlog)."""
+        total = 0
+        seen_current = segment is None
+        for candidate in segment_paths(self.path):
+            try:
+                size = os.path.getsize(candidate)
+            except OSError:
+                continue
+            if candidate == segment:
+                seen_current = True
+                total += max(0, size - offset)
+            elif seen_current:
+                total += size
+        return total
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def committed_seq(self) -> int:
+        """Highest sequence number returned by :meth:`poll` so far."""
+        with self._lock:
+            return self._next_seq - 1
+
+    @property
+    def bytes_read(self) -> int:
+        """Payload bytes consumed (committed records only)."""
+        with self._lock:
+            return self._bytes_read
+
+    @property
+    def records_read(self) -> int:
+        with self._lock:
+            return self._records_read
+
+    @property
+    def backlog_bytes(self) -> int:
+        """On-disk bytes past the committed position at the last poll."""
+        with self._lock:
+            return self._backlog_bytes

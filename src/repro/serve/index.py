@@ -106,6 +106,7 @@ class TopKIndex:
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
+        self.warmed = 0
 
     # ----------------------------------------------------------------- eviction
 
@@ -195,21 +196,63 @@ class TopKIndex:
         items = self.candidates[positions]
         if self.cache_size > 0:
             with self._lock:
-                old = self._cache.pop(key, None)
-                if old is not None:
-                    self._cache_bytes -= old.nbytes
-                self._cache[key] = CacheEntry(
-                    snapshot.version, items, kth, now, int(items.nbytes)
+                self._store_entry(
+                    key,
+                    CacheEntry(snapshot.version, items, kth, now, int(items.nbytes)),
                 )
-                self._cache_bytes += int(items.nbytes)
-                while len(self._cache) > self.cache_size:
-                    self._evict(next(iter(self._cache)))
-                if self.max_bytes is not None:
-                    # Oldest-first until under the cap; a single oversized
-                    # answer is evicted too (caching it could never pay off).
-                    while self._cache_bytes > self.max_bytes and self._cache:
-                        self._evict(next(iter(self._cache)))
         return items
+
+    def _store_entry(self, key: Tuple[int, int], entry: CacheEntry) -> None:
+        """Insert an answer and apply capacity pressure (lock held)."""
+        old = self._cache.pop(key, None)
+        if old is not None:
+            self._cache_bytes -= old.nbytes
+        self._cache[key] = entry
+        self._cache_bytes += entry.nbytes
+        while len(self._cache) > self.cache_size:
+            self._evict(next(iter(self._cache)))
+        if self.max_bytes is not None:
+            # Oldest-first until under the cap; a single oversized
+            # answer is evicted too (caching it could never pay off).
+            while self._cache_bytes > self.max_bytes and self._cache:
+                self._evict(next(iter(self._cache)))
+
+    def warm(self, snapshot: Snapshot, users: Iterable[int], k: int) -> int:
+        """Pre-compute and cache top-``k`` answers for ``users``.
+
+        Users whose cached answer is already exact for this snapshot
+        version are skipped.  Warm fills are tallied in ``warmed``
+        rather than ``hits``/``misses`` — they are speculative work
+        done off the serving path, not traffic.  Returns the number of
+        entries actually computed.
+        """
+        if self.cache_size <= 0:
+            return 0
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        count = 0
+        for user in users:
+            key = (int(user), int(k))
+            now = self._clock()
+            with self._lock:
+                entry = self._cache.get(key)
+                if (
+                    entry is not None
+                    and not self._expired(entry, now)
+                    and entry.version == snapshot.version
+                ):
+                    continue
+            scores = self.scores(snapshot, int(user))
+            positions, kth = self._top_k_exact(scores, k)
+            items = self.candidates[positions]
+            with self._lock:
+                self._store_entry(
+                    key,
+                    CacheEntry(snapshot.version, items, kth, now, int(items.nbytes)),
+                )
+                self.warmed += 1
+            count += 1
+        return count
 
     # ----------------------------------------------------------- invalidation
 

@@ -59,12 +59,16 @@ class ServeConfig:
     cache_size: int = 1024  # (user, k) entries in the top-K LRU cache
     cache_ttl_seconds: Optional[float] = None  # age out cached answers; None = never
     cache_max_bytes: Optional[int] = None  # memory-pressure cap on cached answers
+    warm_users: int = 0  # pre-warm top-K for the N most-active users; 0 = off
+    warm_k: int = 10  # k used for warmed cache entries
     store_block_size: int = 256  # rows per copy-on-write block
     compact_every: int = 64  # defragment the store every N publishes; 0 = never
     score_block: int = 512  # candidate rows per scoring matmul
+    read_only: bool = False  # reject ingest (replica mode); reads still served
     # --- resilience (repro.resilience); all off by default -----------------
     wal_path: Optional[str] = None  # journal accepted events/batches here
     wal_fsync: bool = False  # fsync every WAL append (OS-crash durability)
+    wal_segment_bytes: Optional[int] = None  # rotate WAL segments at this size
     checkpoint_dir: Optional[str] = None  # atomic state snapshots live here
     checkpoint_every: int = 0  # checkpoint every N applied updates; 0 = never
     checkpoint_retain: int = 3  # newest checkpoints kept on disk
@@ -116,6 +120,21 @@ class ServeConfig:
                 "breaker_cooldown_events must be >= 1, got "
                 f"{self.breaker_cooldown_events}"
             )
+        if self.warm_users < 0:
+            raise ValueError(
+                f"warm_users must be >= 0, got {self.warm_users}"
+            )
+        if self.warm_k < 1:
+            raise ValueError(f"warm_k must be >= 1, got {self.warm_k}")
+        if self.wal_segment_bytes is not None and self.wal_segment_bytes < 1:
+            raise ValueError(
+                "wal_segment_bytes must be >= 1 when set, got "
+                f"{self.wal_segment_bytes}"
+            )
+
+
+class ReadOnlyServiceError(RuntimeError):
+    """Ingest was offered to a service serving in read-only replica mode."""
 
 
 class RecommendationService:
@@ -209,6 +228,7 @@ class RecommendationService:
             "checkpoint.fallbacks",
             "recovery.replayed_events",
             "breaker.opened",
+            "cache.warmed",
         ):
             self.metrics.counter(name)
         for name in (
@@ -222,16 +242,18 @@ class RecommendationService:
             self.metrics.histogram(name)
         # Guards the service's scalar runtime state (_clock,
         # _update_in_flight, _updates_applied, breaker fields,
-        # _resilience_suspended).  Leaf-like by contract: never call
-        # into the queue, store, index or metrics while holding it —
-        # it ranks between the queue lock and the store lock in the
-        # hierarchy (DESIGN.md §12) only because update dispatch runs
-        # under the queue lock.
+        # _resilience_suspended, _read_only, _user_activity).  Leaf-like
+        # by contract: never call into the queue, store, index or
+        # metrics while holding it — it ranks between the queue lock
+        # and the store lock in the hierarchy (DESIGN.md §12) only
+        # because update dispatch runs under the queue lock.
         self._state_lock = threading.Lock()
         self._sleep = self.config.sleep_fn if self.config.sleep_fn else time.sleep
         self._clock = float(initial_clock)  # latest applied event timestamp
         self._update_in_flight = False
         self._updates_applied = 0
+        self._read_only = bool(self.config.read_only)
+        self._user_activity: Dict[int, int] = {}
         # --- resilience wiring (function-level imports keep repro.serve
         # importable on its own and avoid a serve <-> resilience cycle)
         self.wal = None
@@ -247,6 +269,7 @@ class RecommendationService:
                 self.config.wal_path,
                 fsync=self.config.wal_fsync,
                 metrics=self.metrics,
+                segment_bytes=self.config.wal_segment_bytes,
             )
         if self.config.checkpoint_dir is not None:
             from repro.resilience.checkpoint import CheckpointManager
@@ -277,7 +300,9 @@ class RecommendationService:
             validator=self._validate_event,
             overflow=self.config.overflow,
             late_tolerance=self.config.late_tolerance,
-            journal=self._journal_decision if self.wal is not None else None,
+            # Always installed: the hook no-ops without a WAL, which
+            # lets attach_durability() start journaling post-promotion.
+            journal=self._journal_decision,
         )
         # Eq. 14 embeddings depend on wall-clock time (and alpha) only
         # when decay-at-inference is on; then every row must be
@@ -321,6 +346,11 @@ class RecommendationService:
         toward the cooldown that triggers a half-open probe.
         """
         with self._state_lock:
+            if self._read_only:
+                raise ReadOnlyServiceError(
+                    "service is in read-only replica mode; promote it "
+                    "before ingesting"
+                )
             probe = False
             if self._breaker_open:
                 self._breaker_cooldown -= 1
@@ -413,6 +443,8 @@ class RecommendationService:
             self.metrics.counter("cache.evictions").set(self.index.evictions)
             self.metrics.counter("store.compactions").set(self.store.compactions)
             self.metrics.gauge("store.version").set(snapshot.version)
+            self._record_activity(batch)
+            self.warm_cache()
             self._maybe_checkpoint()
         finally:
             with self._state_lock:
@@ -474,22 +506,114 @@ class RecommendationService:
         with self._state_lock:
             return self._breaker_open
 
+    # ------------------------------------------------------------ cache warming
+
+    def _record_activity(self, batch: EdgeStream) -> None:
+        """Tally per-user event counts for warm-cache candidate ranking."""
+        if self.config.warm_users < 1:
+            return
+        with self._state_lock:
+            for edge in batch:
+                u = int(edge.u)
+                self._user_activity[u] = self._user_activity.get(u, 0) + 1
+
+    def _most_active_users(self):
+        """The ``warm_users`` busiest users, ties broken by id."""
+        with self._state_lock:
+            ranked = sorted(
+                self._user_activity.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        return [u for u, _ in ranked[: self.config.warm_users]]
+
+    def warm_cache(self, users=None) -> int:
+        """Pre-compute top-K cache entries against the latest snapshot.
+
+        With ``users=None`` the ``warm_users`` most-active users (by
+        accepted-event count) are warmed with ``warm_k``; runs after
+        every publish, after recovery, and after follower bootstrap.
+        Returns the number of entries computed (0 when warming is off
+        or activity is empty).
+        """
+        if users is None:
+            if self.config.warm_users < 1:
+                return 0
+            users = self._most_active_users()
+        users = list(users)
+        if not users:
+            return 0
+        snapshot = self.store.snapshot()
+        warmed = self.index.warm(snapshot, users, self.config.warm_k)
+        self.metrics.counter("cache.warmed").set(self.index.warmed)
+        return warmed
+
+    # ------------------------------------------------------------ replica mode
+
+    @property
+    def read_only(self) -> bool:
+        """True while the service rejects ingest (replica mode)."""
+        with self._state_lock:
+            return self._read_only
+
+    def set_writable(self) -> None:
+        """Flip a read-only replica to writable (follower promotion)."""
+        with self._state_lock:
+            self._read_only = False
+
+    def attach_durability(
+        self,
+        wal_path: str,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+    ) -> None:
+        """Wire a WAL (and optionally checkpoints) into a running service.
+
+        The promotion path: a follower runs with journaling off — the
+        primary's log is its source of truth — and gains durability of
+        its own only on becoming the writer.  Call while no producers
+        are ingesting; journal coverage starts with the first decision
+        made after the attach.
+        """
+        if self.wal is not None:
+            raise ValueError("service already has a write-ahead log")
+        from repro.resilience.checkpoint import CheckpointManager
+        from repro.resilience.wal import WriteAheadLog
+
+        self.config.wal_path = wal_path
+        self.wal = WriteAheadLog(
+            wal_path,
+            fsync=self.config.wal_fsync,
+            metrics=self.metrics,
+            segment_bytes=self.config.wal_segment_bytes,
+        )
+        if checkpoint_dir is not None:
+            self.config.checkpoint_dir = checkpoint_dir
+            if checkpoint_every is not None:
+                self.config.checkpoint_every = int(checkpoint_every)
+            self.checkpoints = CheckpointManager(
+                checkpoint_dir,
+                retain=self.config.checkpoint_retain,
+                metrics=self.metrics,
+            )
+
     # -------------------------------------------------------------- durability
 
     def _journal_decision(
         self, kind: str, edge: Optional[StreamEdge], count: int
     ) -> None:
         """EventQueue journal hook → WAL append (write-ahead of state)."""
+        wal = self.wal
+        if wal is None:
+            return
         with self._state_lock:
             suspended = self._resilience_suspended
         if suspended:
             return
         if kind == "accept":
-            self.wal.append_accept(edge)
+            wal.append_accept(edge)
         elif kind == "evict":
-            self.wal.append_evict(edge)
+            wal.append_evict(edge)
         else:
-            self.wal.append_batch(count)
+            wal.append_batch(count)
 
     def _maybe_checkpoint(self) -> None:
         every = self.config.checkpoint_every

@@ -1,0 +1,112 @@
+"""Tests for the kill-primary failover gate."""
+
+import json
+
+import pytest
+
+from repro.datasets.zoo import load_dataset
+from repro.replicate.failover import FailoverDriver, FailoverReport
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("uci", scale=0.1)
+
+
+def make_driver(dataset, tmp_path, **kwargs):
+    defaults = dict(seed=3, max_parity_users=16)
+    defaults.update(kwargs)
+    return FailoverDriver(
+        dataset,
+        state_dir=str(tmp_path / "primary"),
+        replica_dir=str(tmp_path / "replica"),
+        **defaults,
+    )
+
+
+class TestDriver:
+    def test_rejects_shared_directory(self, dataset, tmp_path):
+        with pytest.raises(ValueError):
+            FailoverDriver(
+                dataset,
+                state_dir=str(tmp_path / "same"),
+                replica_dir=str(tmp_path / "same"),
+            )
+
+    def test_kill_position_is_deterministic_per_seed(self, dataset, tmp_path):
+        a = make_driver(dataset, tmp_path / "a", seed=5).run()
+        b = make_driver(dataset, tmp_path / "b", seed=5).run()
+        assert a.kill_position == b.kill_position
+        assert a.events_accepted == b.events_accepted
+
+
+class TestGate:
+    @pytest.fixture(scope="class")
+    def report(self, dataset, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("failover")
+        return make_driver(dataset, tmp).run()
+
+    def test_ledger_reconciles_with_zero_mismatches(self, report):
+        assert report.mismatches == []
+        assert report.reconciled
+
+    def test_promoted_state_is_bitwise_identical_to_golden(self, report):
+        assert report.fingerprint_match
+
+    def test_topk_matches_golden_and_offline_for_every_user(self, report):
+        assert report.parity_users > 0
+        assert report.parity_matches == report.parity_users
+        assert report.parity_fraction == 1.0
+
+    def test_replica_served_reads_through_the_outage(self, report):
+        assert report.reads_during_failover > 0
+
+    def test_every_injected_fault_is_observed(self, report):
+        assert report.observed["malformed"] == report.injected["malformed"]
+        assert report.observed["late"] == report.injected["late"]
+        assert (
+            report.observed["duplicates_accepted"]
+            == report.injected["duplicate"]
+        )
+        assert report.observed["promotions"] == 1
+        assert report.observed["bytes_shipped"] > 0
+
+    def test_gate_passes(self, report):
+        assert report.passed
+
+    def test_report_roundtrips_to_json(self, report, tmp_path):
+        path = report.write_json(str(tmp_path / "nested" / "failover.json"))
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["passed"] is True
+        assert payload["kill_position"] == report.kill_position
+        assert payload["mismatches"] == []
+
+    def test_summary_rows_render(self, report):
+        rows = dict(report.summary_rows())
+        assert rows["gate"] == "PASS"
+        assert rows["ledger reconciled"] == "yes"
+        assert rows["state fingerprint"] == "match"
+
+
+class TestReport:
+    def test_gate_demands_all_three_checks(self):
+        base = dict(
+            dataset="d",
+            k=10,
+            num_events=1,
+            seed=0,
+            kill_position=1,
+            ingest_seconds=0.0,
+            events_accepted=1,
+            num_updates=0,
+            reads_during_failover=0,
+            parity_users=4,
+            parity_matches=4,
+            reconciled=True,
+            fingerprint_match=True,
+        )
+        assert FailoverReport(**base).passed
+        assert not FailoverReport(**{**base, "reconciled": False}).passed
+        assert not FailoverReport(**{**base, "fingerprint_match": False}).passed
+        assert not FailoverReport(**{**base, "parity_matches": 3}).passed

@@ -1,0 +1,288 @@
+"""Tests for the replication roles: primary, follower, promotion."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import SUPAConfig
+from repro.datasets.zoo import load_dataset
+from repro.replicate.config import ReplicationConfig, checkpoint_dir, wal_path
+from repro.replicate.failover import state_fingerprint
+from repro.replicate.follower import (
+    ReplicationError,
+    ReplicationFollower,
+    StaleReadError,
+)
+from repro.replicate.primary import ReplicationPrimary
+from repro.resilience.wal import scan
+from repro.serve.service import ReadOnlyServiceError, ServeConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("uci", scale=0.1)
+
+
+def serve_config(**kwargs):
+    defaults = dict(
+        batch_size=8,
+        capacity=64,
+        overflow="drop_new",
+        late_tolerance=0.0,
+        warm_users=4,
+    )
+    defaults.update(kwargs)
+    return ServeConfig(**defaults)
+
+
+def model_config(seed=0):
+    return SUPAConfig(dim=16, num_walks=2, walk_length=2, seed=seed)
+
+
+def make_primary(dataset, tmp_path, clock=None, **repl_kwargs):
+    repl = ReplicationConfig(
+        heartbeat_every=repl_kwargs.pop("heartbeat_every", 4),
+        checkpoint_every=repl_kwargs.pop("checkpoint_every", 2),
+        **repl_kwargs,
+    )
+    return ReplicationPrimary(
+        dataset,
+        str(tmp_path / "primary"),
+        serve_config=serve_config(),
+        model_config=model_config(),
+        replication=repl,
+        clock=clock,
+    )
+
+
+def make_follower(dataset, tmp_path, clock=None, replication=None):
+    return ReplicationFollower(
+        dataset,
+        str(tmp_path / "primary"),
+        replica_dir=str(tmp_path / "replica"),
+        serve_config=serve_config(),
+        model_config=model_config(),
+        replication=replication
+        or ReplicationConfig(heartbeat_every=4, checkpoint_every=2),
+        clock=clock,
+    )
+
+
+class TestConfig:
+    def test_layout_helpers(self, tmp_path):
+        root = str(tmp_path / "node")
+        assert wal_path(root) == os.path.join(root, "replicate.wal")
+        assert checkpoint_dir(root) == os.path.join(root, "checkpoints")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(heartbeat_every=0),
+            dict(heartbeat_timeout_seconds=0.0),
+            dict(max_lag_records=-1),
+            dict(stale_reads="maybe"),
+            dict(wal_segment_bytes=0),
+            dict(checkpoint_every=-1),
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            ReplicationConfig(**kwargs)
+
+
+class TestPrimary:
+    def test_heartbeat_announced_at_startup(self, dataset, tmp_path):
+        primary = make_primary(dataset, tmp_path, clock=lambda: 42.0)
+        primary.close()
+        records = scan(wal_path(str(tmp_path / "primary"))).records
+        assert records[0].kind == "heartbeat"
+        assert records[0].t == 42.0
+
+    def test_heartbeats_ride_along_at_cadence(self, dataset, tmp_path):
+        primary = make_primary(dataset, tmp_path, heartbeat_every=4)
+        for edge in list(dataset.stream)[:16]:
+            primary.ingest(edge)
+        primary.close()
+        kinds = [r.kind for r in scan(wal_path(str(tmp_path / "primary"))).records]
+        # startup heartbeat + one per 4 offered events
+        assert kinds.count("heartbeat") >= 4
+        assert int(primary.metrics.counter("replica.heartbeats").value) >= 4
+
+
+class TestFollower:
+    def test_tail_reaches_bitwise_parity(self, dataset, tmp_path):
+        primary = make_primary(dataset, tmp_path)
+        follower = make_follower(dataset, tmp_path).bootstrap()
+        stream = list(dataset.stream)[:120]
+        for i, edge in enumerate(stream):
+            primary.ingest(edge)
+            if i % 16 == 0:
+                follower.poll()
+        primary.flush()
+        while follower.poll():
+            pass
+        assert follower.applied_seq == primary.last_seq
+        assert state_fingerprint(follower.service) == state_fingerprint(
+            primary.service
+        )
+        users = primary.service.users[:6]
+        for user in users:
+            assert np.array_equal(
+                follower.recommend(int(user), 5),
+                primary.recommend(int(user), 5),
+            )
+        primary.close()
+
+    def test_follower_mirrors_queue_residue(self, dataset, tmp_path):
+        primary = make_primary(dataset, tmp_path)
+        stream = list(dataset.stream)[:11]  # not a batch multiple
+        for edge in stream:
+            primary.ingest(edge)
+        follower = make_follower(dataset, tmp_path).bootstrap()
+        assert follower.residue == primary.service.queue.pending
+        assert follower.accepted_total == primary.service.queue.accepted
+        primary.close()
+
+    def test_staleness_observables(self, dataset, tmp_path):
+        primary = make_primary(dataset, tmp_path, clock=lambda: 10.0)
+        follower = make_follower(
+            dataset, tmp_path, clock=lambda: 12.5
+        ).bootstrap()
+        assert follower.heartbeats_seen >= 1
+        gauge = follower.service.metrics.gauge("replica.lag_seconds")
+        assert gauge.value == pytest.approx(2.5)
+        assert follower.service.metrics.gauge("replica.backlog_bytes").value == 0
+        assert follower.lag_from(primary.last_seq) == 0
+        primary.close()
+
+    def test_reject_mode_refuses_stale_reads(self, dataset, tmp_path):
+        primary = make_primary(dataset, tmp_path)
+        for edge in list(dataset.stream)[:64]:
+            primary.ingest(edge)
+        follower = ReplicationFollower(
+            dataset,
+            str(tmp_path / "primary"),
+            serve_config=serve_config(),
+            model_config=model_config(),
+            replication=ReplicationConfig(
+                heartbeat_every=4, max_lag_records=0, stale_reads="reject"
+            ),
+        )
+        # bootstrap's initial drain applies a non-zero backlog in one
+        # poll, so the replica knows it was behind its zero bound
+        follower.bootstrap()
+        user = int(primary.service.users[0])
+        if follower.lag_records > 0:
+            with pytest.raises(StaleReadError):
+                follower.recommend(user, 5)
+        follower.poll()  # nothing new: lag drops to zero
+        assert follower.recommend(user, 5) is not None
+        primary.close()
+
+    def test_primary_silence_detection(self, dataset, tmp_path):
+        now = {"t": 100.0}
+        primary = make_primary(dataset, tmp_path, clock=lambda: now["t"])
+        follower = make_follower(
+            dataset,
+            tmp_path,
+            clock=lambda: now["t"],
+            replication=ReplicationConfig(
+                heartbeat_every=4, heartbeat_timeout_seconds=5.0
+            ),
+        ).bootstrap()
+        assert not follower.primary_silent()
+        now["t"] = 104.0
+        follower.poll()
+        assert not follower.primary_silent()
+        now["t"] = 120.0  # no heartbeat for 20s > 5s timeout
+        follower.poll()
+        assert follower.primary_silent()
+        primary.close()
+
+    def test_follower_is_read_only_until_promoted(self, dataset, tmp_path):
+        primary = make_primary(dataset, tmp_path)
+        follower = make_follower(dataset, tmp_path).bootstrap()
+        edge = list(dataset.stream)[0]
+        with pytest.raises(ReplicationError):
+            follower.ingest(edge)
+        with pytest.raises(ReadOnlyServiceError):
+            follower.service.ingest(edge)
+        with pytest.raises(ReplicationError):
+            follower.flush()
+        primary.close()
+
+    def test_poll_before_bootstrap_raises(self, dataset, tmp_path):
+        follower = make_follower(dataset, tmp_path)
+        with pytest.raises(ReplicationError):
+            follower.poll()
+        with pytest.raises(ReplicationError):
+            follower.recommend(0, 5)
+
+
+class TestPromote:
+    def test_promote_requires_distinct_directory(self, dataset, tmp_path):
+        primary = make_primary(dataset, tmp_path)
+        follower = make_follower(dataset, tmp_path).bootstrap()
+        with pytest.raises(ReplicationError):
+            follower.promote(str(tmp_path / "primary"))
+        primary.close()
+
+    def test_promote_flips_writable_and_inherits_ledger(self, dataset, tmp_path):
+        primary = make_primary(dataset, tmp_path)
+        stream = list(dataset.stream)
+        for edge in stream[:60]:
+            primary.ingest(edge)
+        primary.kill()
+        follower = make_follower(dataset, tmp_path).bootstrap()
+        follower.promote()
+        assert follower.state == "promoted"
+        svc = follower.service
+        assert not svc.read_only
+        assert svc.wal.last_seq == follower.applied_seq
+        assert svc.queue.accepted == follower.accepted_total
+        # the promoted node keeps accepting and journaling
+        before = svc.wal.last_seq
+        assert follower.ingest(stream[60])
+        assert svc.wal.last_seq == before + 1
+        with pytest.raises(ReplicationError):
+            follower.promote()  # already promoted
+        follower.close()
+
+    def test_promoted_timeline_is_recoverable(self, dataset, tmp_path):
+        """The inherited WAL + fresh checkpoint must let the *promoted*
+        node crash and recover with full bitwise parity — zero-downtime
+        restart is just recovery on the inherited timeline."""
+        from dataclasses import replace
+
+        from repro.resilience.recovery import recover
+
+        primary = make_primary(dataset, tmp_path)
+        stream = list(dataset.stream)[:90]
+        for edge in stream[:50]:
+            primary.ingest(edge)
+        primary.kill()
+        follower = make_follower(dataset, tmp_path).bootstrap()
+        follower.promote()
+        for edge in stream[50:]:
+            follower.ingest(edge)
+        follower.flush()
+        expected = state_fingerprint(follower.service)
+        replica_root = str(tmp_path / "replica")
+        users = follower.service.users[:5]
+        expected_topk = {
+            int(u): follower.service.recommend(int(u), 5) for u in users
+        }
+        follower.close()  # the promoted node dies too
+
+        cfg = replace(
+            serve_config(),
+            wal_path=wal_path(replica_root),
+            checkpoint_dir=checkpoint_dir(replica_root),
+            checkpoint_every=2,
+        )
+        result = recover(dataset, serve_config=cfg, model_config=model_config())
+        assert state_fingerprint(result.service) == expected
+        for user, topk in expected_topk.items():
+            assert np.array_equal(result.service.recommend(user, 5), topk)
+        result.service.close()

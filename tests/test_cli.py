@@ -288,3 +288,97 @@ class TestChaosReplay:
                     "",
                 ]
             )
+
+
+class TestReplicate:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["replicate", "primary", "--dataset", "uci", "--state-dir", "s"]
+        )
+        assert args.role == "primary"
+        assert args.heartbeat_every == 16
+        assert args.checkpoint_every == 4
+        assert not args.graceful
+        args = build_parser().parse_args(
+            [
+                "replicate",
+                "failover",
+                "--dataset",
+                "uci",
+                "--state-dir",
+                "s",
+                "--replica-dir",
+                "r",
+            ]
+        )
+        assert args.malformed == 2
+        assert args.output.endswith("failover.json")
+
+    def test_role_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replicate"])
+
+    def test_primary_follower_promote_pipeline(self, tmp_path, capsys):
+        state = str(tmp_path / "primary")
+        replica = str(tmp_path / "replica")
+        common = ["--dataset", "uci", "--scale", "0.05", "--dim", "16"]
+        # abrupt-kill primary: the follower must cope with the torn tail
+        assert main(
+            ["replicate", "primary", *common, "--state-dir", state, "--events", "80"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "replicate primary" in out
+        assert main(
+            ["replicate", "follower", *common, "--state-dir", state, "--probes", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "parity" in out
+        assert main(
+            [
+                "replicate",
+                "promote",
+                *common,
+                "--state-dir",
+                state,
+                "--replica-dir",
+                replica,
+                "--resume-from",
+                "80",
+                "--events",
+                "40",
+                "--verify-parity",
+                "--probes",
+                "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out
+
+    def test_failover_gate_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "failover.json"
+        code = main(
+            [
+                "replicate",
+                "failover",
+                "--dataset",
+                "uci",
+                "--scale",
+                "0.1",
+                "--dim",
+                "16",
+                "--state-dir",
+                str(tmp_path / "p"),
+                "--replica-dir",
+                str(tmp_path / "r"),
+                "--max-parity-users",
+                "8",
+                "--output",
+                str(out_path),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in captured
+        payload = json.loads(out_path.read_text())
+        assert payload["passed"] is True
+        assert payload["mismatches"] == []
