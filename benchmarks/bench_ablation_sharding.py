@@ -1,45 +1,209 @@
-"""Sharding ablation: simulated multi-worker speedup of SUPA updates.
+"""Sharding ablation: measured multi-worker throughput of SUPA updates.
 
 Quantifies the paper's Section IV-H claim that SUPA's localized updates
-parallelise across workers, on a real generated stream: partitions each
-InsLearn batch into conflict-free rounds and reports the achievable
-throughput multiple per worker count.
+parallelise across workers, in two layers:
+
+1. the **analytic** bound from conflict-free round partitioning
+   (:func:`repro.core.shard.estimate_parallel_speedup`) — unchanged from
+   the original estimator, now living in :mod:`repro.core.shard`;
+2. a **measured** protocol over the real sharded engine: steady-state
+   batches execute with ``shard_backend="serial"`` so every chunk's busy
+   time is timed cleanly (no GIL interleaving on small CI hosts).
+
+The gated quantity is the **round-parallel phase** — the chunk
+execution the shard scheduler actually distributes.  Its wall clock at
+``w`` workers is the sum of per-round critical paths (each round's
+longest chunk); at ``w = 1`` every round is a single chunk, so the
+critical path *is* the busy time and the model is exact.  Compile (the
+coordinator owns the RNG stream by design, DESIGN.md §14), schedule
+construction and the deterministic barrier merges stay serial on the
+coordinator, so end-to-end speedup is Amdahl-bounded well below the
+phase speedup; the end-to-end model
+
+    wall(w) = measured_wall - total_chunk_busy + critical_path
+
+is reported alongside for honesty, but the gate is on the phase the
+subsystem parallelises.  The warm-up losses of every worker count must
+be bitwise identical — the engine's worker-count-invariance contract —
+otherwise the comparison is meaningless.
+
+Writes ``benchmarks/results/shard_throughput.json`` and gates on the
+phase speedup at 4 workers.
 """
 
 from __future__ import annotations
 
-from harness import emit, prepare
-from repro.core.sharding import estimate_parallel_speedup, shard_statistics
-from repro.utils.tables import format_table
+import json
+import os
 
-WORKERS = [1, 2, 4, 8, 16]
+import numpy as np
+
+from harness import RESULTS_DIR, emit, prepare
+from repro.core import SUPAConfig
+from repro.core.engine.benchmark import _steady_state_records
+from repro.core.model import SUPA
+from repro.core.shard import estimate_parallel_speedup, shard_statistics
+from repro.utils.tables import format_table
+from repro.utils.timer import Timer
+
+WORKERS = [1, 2, 4]
+ESTIMATE_WORKERS = [1, 2, 4, 8, 16]
+SCALE = 2.0
+DIM = 128
+WARM_HISTORY = 4096
+BATCH_SIZE = 1024
+PASSES = 2
+MIN_SPEEDUP_AT_4 = 1.8
+
+
+def _measure_worker_count(dataset, workers: int):
+    """Steady-state phase + end-to-end throughput at ``workers`` workers."""
+    cfg = SUPAConfig(
+        dim=DIM,
+        seed=7,
+        engine="sharded",
+        shard_workers=workers,
+        shard_backend="serial",
+        shard_min_chunk=2,
+    )
+    model = SUPA.for_dataset(dataset, config=cfg)
+    records = _steady_state_records(model, dataset, WARM_HISTORY, BATCH_SIZE)
+    warmup_losses = model.train_batch(records)  # untimed; parity witness
+    engine = model.engine
+    engine.reset_shard_counters()
+    timer = Timer()
+    with timer:
+        for _ in range(PASSES):
+            model.train_batch(records)
+    measured_wall = timer.elapsed
+    busy = engine.busy_seconds
+    critical = engine.critical_path_seconds
+    modeled_wall = measured_wall - busy + critical
+    edges = PASSES * len(records)
+    return {
+        "workers": workers,
+        "edges": edges,
+        "measured_wall_seconds": measured_wall,
+        "chunk_busy_seconds": busy,
+        "critical_path_seconds": critical,
+        "phase_edges_per_second": edges / critical,
+        "modeled_wall_seconds": modeled_wall,
+        "end_to_end_edges_per_second": edges / modeled_wall,
+        "rounds": engine.total_rounds,
+        "chunks": engine.total_chunks,
+        "imbalance": engine.last_shard_stats["imbalance"],
+    }, warmup_losses
 
 
 def run_sharding():
-    dataset, train, _, _ = prepare("kuaishou")
-    batches = train.sequential_batches(1024)
-    rows = []
-    for workers in WORKERS:
+    dataset, train, _, _ = prepare("kuaishou", scale=SCALE)
+
+    # Layer 1: the analytic conflict-free bound (estimator only).
+    batches = train.sequential_batches(BATCH_SIZE)
+    estimate_rows = []
+    for workers in ESTIMATE_WORKERS:
         speedups = [
             estimate_parallel_speedup(list(batch), workers) for batch in batches
         ]
-        rows.append([workers, sum(speedups) / len(speedups)])
+        estimate_rows.append([workers, sum(speedups) / len(speedups)])
     stats = shard_statistics(list(batches[0]))
-    return rows, stats
+
+    # Layer 2: the measured sharded engine.
+    measured = []
+    witness = None
+    for workers in WORKERS:
+        row, losses = _measure_worker_count(dataset, workers)
+        if witness is None:
+            witness = losses
+        else:
+            assert losses.tobytes() == witness.tobytes(), (
+                f"worker-count invariance violated at {workers} workers"
+            )
+        measured.append(row)
+    phase_base = measured[0]["phase_edges_per_second"]
+    e2e_base = measured[0]["end_to_end_edges_per_second"]
+    for row in measured:
+        row["phase_speedup"] = row["phase_edges_per_second"] / phase_base
+        row["end_to_end_speedup"] = row["end_to_end_edges_per_second"] / e2e_base
+    return estimate_rows, stats, measured
 
 
 def test_sharding_speedup(benchmark):
-    rows, stats = benchmark.pedantic(run_sharding, rounds=1, iterations=1)
+    estimate_rows, stats, measured = benchmark.pedantic(
+        run_sharding, rounds=1, iterations=1
+    )
     text = format_table(
         ["workers", "mean speedup over batches"],
-        rows,
+        estimate_rows,
         title=(
-            "Sharding ablation: conflict-free parallel speedup "
+            "Sharding ablation: conflict-free parallel speedup bound "
             f"(first batch: {stats['edges']} edges in {stats['rounds']} rounds)"
         ),
         precision=2,
     )
+    text += "\n\n" + format_table(
+        [
+            "workers",
+            "phase edges/s",
+            "phase speedup",
+            "e2e edges/s (modeled)",
+            "e2e speedup",
+            "imbalance",
+        ],
+        [
+            [
+                r["workers"],
+                r["phase_edges_per_second"],
+                r["phase_speedup"],
+                r["end_to_end_edges_per_second"],
+                r["end_to_end_speedup"],
+                r["imbalance"],
+            ]
+            for r in measured
+        ],
+        title=(
+            "Sharded engine, measured (serial backend; phase = round-parallel "
+            f"chunk execution; dim={DIM}, S_batch={BATCH_SIZE}, "
+            f"history={WARM_HISTORY}, scale={SCALE})"
+        ),
+        precision=2,
+    )
     emit("ablation_sharding", text)
-    # speedup must be monotone and exceed 1 once there are >1 workers
-    assert rows[1][1] > 1.0
-    assert all(b[1] >= a[1] - 1e-9 for a, b in zip(rows, rows[1:]))
+
+    report = {
+        "dataset": "kuaishou",
+        "scale": SCALE,
+        "dim": DIM,
+        "warm_history": WARM_HISTORY,
+        "batch_size": BATCH_SIZE,
+        "passes": PASSES,
+        "host_cpus": os.cpu_count(),
+        "methodology": (
+            "serial shard backend for clean per-chunk timing on small hosts; "
+            "gated quantity is the round-parallel chunk-execution phase, "
+            "whose wall at w workers is the sum of per-round critical paths "
+            "(exact at w=1 where critical == busy); compile/schedule/merge "
+            "stay coordinator-serial by design (RNG ownership, deterministic "
+            "merges), so the end-to-end model wall = measured - busy + "
+            "critical is Amdahl-bounded and reported for context; warm-up "
+            "losses bitwise identical across worker counts"
+        ),
+        "min_phase_speedup_at_4": MIN_SPEEDUP_AT_4,
+        "workers": measured,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "shard_throughput.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    # estimator sanity: monotone, >1 beyond one worker
+    assert estimate_rows[1][1] > 1.0
+    assert all(b[1] >= a[1] - 1e-9 for a, b in zip(estimate_rows, estimate_rows[1:]))
+    # measured gate: the parallelised phase must clear the bar at 4 workers
+    at4 = next(r for r in measured if r["workers"] == 4)
+    assert at4["phase_speedup"] >= MIN_SPEEDUP_AT_4, (
+        f"4-worker phase speedup {at4['phase_speedup']:.2f}x below {MIN_SPEEDUP_AT_4}x"
+    )
+    # end-to-end must not regress below 1x (coordinator overhead only)
+    assert at4["end_to_end_speedup"] >= 1.0

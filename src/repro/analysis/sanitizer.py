@@ -264,6 +264,7 @@ def default_audits() -> List[Audit]:
     from the source — ``tests/analysis/test_sanitizer.py`` cross-checks
     the two so they cannot drift apart.
     """
+    from repro.core.shard.executor import ShardedEngine
     from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
     from repro.replicate.follower import ReplicationFollower
     from repro.resilience.checkpoint import CheckpointManager
@@ -271,7 +272,11 @@ def default_audits() -> List[Audit]:
     from repro.serve.index import TopKIndex
     from repro.serve.ingest import EventQueue
     from repro.serve.service import RecommendationService
-    from repro.serve.store import VersionedEmbeddingStore
+    from repro.serve.store import (
+        DecayedEmbeddingStore,
+        DecayedSnapshot,
+        VersionedEmbeddingStore,
+    )
 
     def audit(cls, lock_attr, guarded):
         return Audit(cls, lock_attr, frozenset(guarded))
@@ -291,6 +296,9 @@ def default_audits() -> List[Audit]:
             "_lock",
             {"_current", "compactions", "_publishes_since_compact"},
         ),
+        audit(DecayedEmbeddingStore, "_lock", {"_current"}),
+        audit(DecayedSnapshot, "_lock", {"_cache"}),
+        audit(ShardedEngine, "_pool_lock", {"_pool"}),
         audit(
             TopKIndex,
             "_lock",
@@ -314,7 +322,7 @@ def default_audits() -> List[Audit]:
                 "_clock", "_update_in_flight", "_updates_applied",
                 "_resilience_suspended", "_consecutive_update_failures",
                 "_breaker_open", "_breaker_cooldown", "_read_only",
-                "_user_activity",
+                "_user_activity", "_shard_pool",
             },
         ),
         audit(

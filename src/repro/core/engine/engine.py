@@ -40,8 +40,10 @@ from repro.obs.trace import NULL_TRACER
 
 _Record = Tuple[StreamEdge, float, float]
 
-#: Engine names accepted by ``SUPAConfig.engine``.
-ENGINE_NAMES = ("reference", "batched")
+#: Engine names accepted by ``SUPAConfig.engine``.  ``"sharded"``
+#: (``repro.core.shard``) shares the batched compile step and executes
+#: plans as conflict-free rounds on a worker pool.
+ENGINE_NAMES = ("reference", "batched", "sharded")
 
 
 class _EngineBase:
@@ -447,4 +449,10 @@ def make_engine(name: str, model) -> _EngineBase:
         return BatchedEngine(model)
     if name == "reference":
         return ReferenceEngine(model)
+    if name == "sharded":
+        # Imported lazily: the shard executor subclasses BatchedEngine,
+        # so a top-level import would be circular.
+        from repro.core.shard.executor import ShardedEngine
+
+        return ShardedEngine(model)
     raise ValueError(f"unknown engine {name!r}; expected one of {ENGINE_NAMES}")

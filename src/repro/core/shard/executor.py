@@ -1,0 +1,271 @@
+"""The sharded execution engine: conflict-free rounds on a worker pool.
+
+:class:`ShardedEngine` is the third ``SUPAConfig.engine``.  It reuses
+the batched engine's compile step verbatim — one
+:class:`~repro.core.engine.plan.BatchPlan` per micro-batch, compiled
+sequentially on the coordinator so the model RNG stream is *identical*
+to the batched engine's — then replaces the per-edge execute loop with
+round-parallel execution (DESIGN.md §14):
+
+1. :func:`~repro.core.shard.schedule.build_schedule` partitions the plan
+   into conflict-free rounds (pairwise-disjoint interactive endpoints)
+   and cost-balanced worker chunks;
+2. each round's chunks run as pure gradient-bundle functions
+   (:func:`~repro.core.shard.tasks.execute_chunk`) on the configured
+   backend — ``thread`` pool, ``process`` pool (pre-gathered tasks) or
+   ``serial`` (in-line, used by benchmarks for clean per-chunk timing);
+3. the coordinator merges at the round barrier in a deterministic,
+   chunk-count-independent order: one fused optimiser call per
+   parameter for the round's disjoint rows (long, short, uncontended
+   context), then per-edge applies in edge order for rows shared across
+   the round's edges (contended context rows, alpha slots).
+
+Within a round every edge reads round-start memory ("round-snapshot"
+semantics); because rounds are endpoint-disjoint this equals the
+sequential result for the interactive rows, and differs from the
+batched engine only on rows several of the round's edges share (alpha,
+colliding context rows) — a documented semantic, *not* a bug.  What the
+engine does guarantee bitwise — enforced by
+``tests/core/test_engine_parity.py`` — is worker-count invariance: the
+schedule and the merge order are pure functions of the plan, never of
+which pool slot ran a chunk, so state bytes, losses and RNG streams are
+identical for any ``shard_workers``/backend combination.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine.engine import BatchedEngine
+from repro.core.engine.kernels import accumulate_rows
+from repro.core.shard.schedule import ShardSchedule, build_schedule
+from repro.core.shard.tasks import ChunkResult, execute_chunk, make_chunk_task
+from repro.obs.trace import NULL_TRACER
+
+#: Accepted ``SUPAConfig.shard_backend`` values.
+SHARD_BACKENDS = ("thread", "process", "serial")
+
+
+class ShardedEngine(BatchedEngine):
+    """Round-parallel plan execution with deterministic barrier merges."""
+
+    name = "sharded"
+
+    def __init__(self, model) -> None:
+        super().__init__(model)
+        cfg = model.config
+        self.workers = cfg.shard_workers
+        self.backend = cfg.shard_backend
+        self.min_chunk = cfg.shard_min_chunk
+        # The pool is created lazily (many configs never execute a
+        # multi-chunk round) and guarded by its own lock so concurrent
+        # first batches race safely; the pool handle itself is used
+        # outside the lock — executor objects are thread-safe.
+        self._pool: Optional[object] = None
+        self._pool_lock = threading.Lock()
+        #: Cumulative scheduling/execution counters since the last
+        #: :meth:`reset_shard_counters` (read by benchmarks and serving).
+        self.total_rounds = 0
+        self.total_chunks = 0
+        self.busy_seconds = 0.0
+        self.critical_path_seconds = 0.0
+        self.worker_busy_seconds: Tuple[float, ...] = (0.0,) * self.workers
+        self.last_shard_stats: Optional[Dict[str, float]] = None
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        with self._pool_lock:
+            if self._pool is None:
+                if self.backend == "process":
+                    self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                else:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix="repro-shard",
+                    )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        with self._pool_lock:
+            pool = self._pool
+            self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def reset_shard_counters(self) -> None:
+        self.total_rounds = 0
+        self.total_chunks = 0
+        self.busy_seconds = 0.0
+        self.critical_path_seconds = 0.0
+        self.worker_busy_seconds = (0.0,) * self.workers
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _run_round_chunks(self, tasks) -> List[ChunkResult]:
+        """Execute one round's chunk tasks; a barrier by construction."""
+        if len(tasks) == 1 or self.backend == "serial":
+            return [execute_chunk(t) for t in tasks]
+        pool = self._ensure_pool()
+        # Executor.map preserves submission order, so results merge in
+        # chunk (= edge) order no matter which slot finished first.
+        return list(pool.map(execute_chunk, tasks))
+
+    def _execute_plan(self, plan, tracer=NULL_TRACER) -> np.ndarray:
+        model = self.model
+        cfg = model.config
+        memory = model.memory
+        optimizer = model.optimizer
+        ctx_flat = optimizer._context_flat
+        update_long = optimizer.long.update_rows
+        update_short = optimizer.short.update_rows
+        update_context = optimizer.context.update_rows
+        update_alpha = optimizer.alpha.update_rows
+        use_inter = cfg.use_inter
+        use_prop = cfg.use_prop and cfg.num_walks > 0
+        use_neg = cfg.use_neg and cfg.num_negatives > 0
+        use_short = cfg.use_short_term
+        use_alpha = cfg.use_short_term and cfg.use_forgetting
+        dim = cfg.dim
+        gather = self.backend == "process"
+
+        if tracer.enabled:
+            with tracer.span("core.shard.schedule", edges=plan.num_edges):
+                schedule = build_schedule(plan, self.workers, self.min_chunk)
+        else:
+            schedule = build_schedule(plan, self.workers, self.min_chunk)
+
+        num_edges = plan.num_edges
+        losses = np.empty(num_edges, dtype=np.float64)
+        last_components: Dict[str, float] = {}
+        round_busy = 0.0
+        critical = 0.0
+        worker_busy = [0.0] * self.workers
+        for rnd in schedule.rounds:
+            edges = rnd.edges
+            tasks = [
+                make_chunk_task(plan, edges[s:e], memory, ctx_flat, cfg, gather)
+                for s, e in rnd.chunk_bounds
+            ]
+            results = self._run_round_chunks(tasks)
+
+            busies = [r.busy_seconds for r in results]
+            round_busy += sum(busies)
+            critical += max(busies)
+            for slot, b in enumerate(busies):
+                worker_busy[slot] += b
+
+            losses[edges] = np.concatenate([r.losses for r in results])
+
+            # --- fused long/short applies (disjoint rows per round) ---
+            sel = plan.uv[edges]
+            g_long = np.concatenate([r.g_long for r in results])
+            loop_mask = sel[:, 0] == sel[:, 1]
+            has_loops = bool(loop_mask.any())
+
+            def _pair_apply(update, grads, sel=sel, loop_mask=loop_mask, has_loops=has_loops):
+                # Endpoint disjointness makes the round's uv rows unique
+                # except within self-loop edges, whose pair collapses to
+                # one row with the summed gradient.
+                if has_loops:
+                    keep = ~loop_mask
+                    rows = np.concatenate((sel[keep].reshape(-1), sel[loop_mask, 0]))
+                    summed = grads[loop_mask, 0] + grads[loop_mask, 1]
+                    update(
+                        rows,
+                        np.concatenate((grads[keep].reshape(-1, dim), summed)),
+                    )
+                else:
+                    update(sel.reshape(-1), grads.reshape(-1, dim))
+
+            _pair_apply(update_long, g_long)
+            if use_short:
+                _pair_apply(update_short, np.concatenate([r.g_short for r in results]))
+
+            # --- fused context apply for uncontended rows, per-edge in
+            # edge order for rows shared across the round -------------
+            if rnd.ctx_rows.size:
+                ctx_cat = np.concatenate([r.ctx_summed for r in results])
+                dup = rnd.ctx_dup_mask
+                if rnd.contended_edges.size:
+                    keep = ~dup
+                    update_context(rnd.ctx_rows[keep], ctx_cat[keep])
+                    bounds = rnd.ctx_bounds
+                    for i in rnd.contended_edges.tolist():
+                        s = int(bounds[i])
+                        e = int(bounds[i + 1])
+                        mask = dup[s:e]
+                        update_context(rnd.ctx_rows[s:e][mask], ctx_cat[s:e][mask])
+                else:
+                    update_context(rnd.ctx_rows, ctx_cat)
+
+            # --- alpha: slots are typically shared round-wide, so the
+            # merge is always per edge, in edge order ------------------
+            if use_alpha:
+                a_cat = np.concatenate([r.g_alpha for r in results])
+                a_slots = plan.alpha_slots[edges]
+                for i in range(edges.size):
+                    slots_i = a_slots[i]
+                    if slots_i[0] != slots_i[1]:
+                        update_alpha(slots_i, a_cat[i][:, None])
+                    else:
+                        update_alpha(*accumulate_rows(slots_i, a_cat[i][:, None]))
+
+            if int(edges[-1]) == num_edges - 1:
+                # Plan edge B-1 carries the batch's final
+                # last_loss_components, mirroring the sequential loop.
+                rlast = results[-1]
+                last_components = {}
+                if use_inter:
+                    last_components["inter"] = float(rlast.inter[-1])
+                if use_prop:
+                    last_components["prop"] = float(rlast.prop[-1])
+                if use_neg:
+                    last_components["neg"] = float(rlast.neg[-1])
+
+        self.total_rounds += schedule.num_rounds
+        self.total_chunks += int(schedule.stats["chunks"])
+        self.busy_seconds += round_busy
+        self.critical_path_seconds += critical
+        self.worker_busy_seconds = tuple(
+            a + b for a, b in zip(self.worker_busy_seconds, worker_busy)
+        )
+        stats = dict(schedule.stats)
+        stats["busy_seconds"] = round_busy
+        stats["critical_path_seconds"] = critical
+        self.last_shard_stats = stats
+        if tracer.enabled:
+            self._record_shard_metrics(schedule, worker_busy, tracer)
+
+        if num_edges:
+            model.last_loss_components = last_components
+        all_nodes = np.concatenate(
+            (plan.uv.reshape(-1), plan.step_nodes, plan.neg_nodes)
+        )
+        model.last_touched_nodes = tuple(int(n) for n in np.unique(all_nodes))
+        return losses
+
+    def _record_shard_metrics(
+        self, schedule: ShardSchedule, worker_busy: List[float], tracer
+    ) -> None:
+        """Shard counters + coordinator-side per-worker attribution."""
+        registry = tracer.registry
+        if registry is not None:
+            registry.counter("shard.rounds").inc(schedule.num_rounds)
+            registry.counter("shard.chunks").inc(int(schedule.stats["chunks"]))
+            registry.counter("shard.contended_ctx_rows").inc(
+                int(schedule.stats["contended_ctx_rows"])
+            )
+            registry.gauge("shard.imbalance").set(schedule.stats["imbalance"])
+        # Workers never touch the (thread-unsafe) tracer; their measured
+        # busy time is attributed here, after the barrier.
+        for slot, busy in enumerate(worker_busy):
+            if busy > 0.0:
+                tracer.attribute(f"core.shard.worker{slot}", busy)

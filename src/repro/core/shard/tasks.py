@@ -1,0 +1,364 @@
+"""Self-contained worker chunks for the sharded engine.
+
+A :class:`ChunkTask` packages everything one worker needs to compute the
+gradient bundles of a contiguous slice of a conflict-free round:
+per-edge index arrays sliced out of the :class:`BatchPlan` plus *source*
+arrays to gather embeddings from.  :func:`execute_chunk` is a pure
+module-level function of its task — it never touches the model, the
+optimiser or any shared mutable state — which is what lets chunks run
+on a thread pool (sources are the live memory arrays, indices are the
+plan's global ids) or a process pool (sources are pre-gathered copies,
+indices remapped chunk-locally by :func:`make_chunk_task`) with
+bit-identical results: ``src[idx]`` produces the same rows either way.
+
+The per-edge body is a line-for-line mirror of
+``BatchedEngine._execute_plan`` minus the optimiser applies: the same
+kernels in the same order produce the same gradient bits, and the
+coordinator (:mod:`repro.core.shard.executor`) applies the merged
+bundles at the round barrier in a deterministic order.  Workers never
+apply updates and never draw RNG — all sampling already happened at
+compile time on the coordinator (RNG-ownership contract, DESIGN.md §14).
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine import kernels
+from repro.core.engine.plan import BatchPlan
+from repro.core.interactor import interaction_loss, interaction_loss_backward
+from repro.utils.timer import Timer
+
+
+class ChunkTask(NamedTuple):
+    """One worker's share of a conflict-free round (``k`` edges).
+
+    Index arrays address the ``*_src`` sources; with ``gather=False``
+    sources are the live model arrays and the indices are the plan's
+    global ids, with ``gather=True`` both are chunk-local copies (for
+    process pools, where the task must pickle without dragging whole
+    memories along).
+    """
+
+    cfg: object
+    uv: np.ndarray
+    deltas: np.ndarray
+    alpha_idx: np.ndarray
+    inter_idx: np.ndarray
+    step_idx: np.ndarray
+    step_sides: np.ndarray
+    step_cums: np.ndarray
+    step_bounds: np.ndarray
+    neg_idx: np.ndarray
+    neg_counts: np.ndarray
+    neg_bounds: np.ndarray
+    ctx_inverse: np.ndarray
+    cat_bounds: np.ndarray
+    uniq_bounds: np.ndarray
+    long_src: np.ndarray
+    short_src: np.ndarray
+    alpha_src: np.ndarray
+    ctx_src: np.ndarray
+
+    @property
+    def num_edges(self) -> int:
+        return self.uv.shape[0]
+
+
+class ChunkResult(NamedTuple):
+    """Gradient bundles for one chunk, in the chunk's edge order.
+
+    ``ctx_summed`` holds each edge's per-unique-row summed context
+    gradients concatenated in edge order — row-aligned with the
+    schedule's ``RoundPlan.ctx_rows`` slice for this chunk, so the
+    coordinator can merge by concatenation.  ``inter``/``prop``/``neg``
+    are per-edge loss components (``None`` when the term is disabled),
+    ``busy_seconds`` the worker's own wall time for imbalance
+    accounting.
+    """
+
+    losses: np.ndarray
+    inter: Optional[np.ndarray]
+    prop: Optional[np.ndarray]
+    neg: Optional[np.ndarray]
+    g_long: np.ndarray
+    g_short: Optional[np.ndarray]
+    g_alpha: Optional[np.ndarray]
+    ctx_summed: np.ndarray
+    busy_seconds: float
+
+
+def _gather_csr(
+    offsets: np.ndarray, edges: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Chunk-local CSR over ``edges``' slices of a plan CSR structure.
+
+    Returns ``(flat_indices, bounds)`` where ``flat_indices`` addresses
+    the plan's flat arrays (each edge's slice, concatenated in chunk
+    edge order) and ``bounds`` is the ``(k + 1,)`` chunk-local offset
+    array.
+    """
+    counts = np.diff(offsets)[edges]
+    bounds = np.zeros(edges.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+    total = int(bounds[-1])
+    flat = np.repeat(offsets[edges] - bounds[:-1], counts) + np.arange(
+        total, dtype=np.int64
+    )
+    return flat, bounds
+
+
+def make_chunk_task(
+    plan: BatchPlan,
+    edges: np.ndarray,
+    memory,
+    ctx_flat: np.ndarray,
+    cfg,
+    gather: bool = False,
+) -> ChunkTask:
+    """Slice ``edges`` (ascending plan indices) out of ``plan``.
+
+    With ``gather=False`` the task references the live ``memory`` arrays
+    and ``ctx_flat`` directly (thread/serial backends — safe because the
+    coordinator only applies updates after the whole round returns).
+    With ``gather=True`` every source row the chunk reads is copied out
+    and the index arrays are remapped to the copies, making the task
+    self-contained and cheap to pickle for process pools.
+    """
+    uv = plan.uv[edges]
+    deltas = plan.deltas[edges]
+    alpha_idx = plan.alpha_slots[edges]
+    inter_idx = plan.inter_rows[edges]
+    step_flat, step_bounds = _gather_csr(plan.step_offsets, edges)
+    step_idx = plan.step_rows[step_flat]
+    step_sides = plan.step_sides[step_flat]
+    step_cums = plan.step_cums[step_flat]
+    neg_flat, neg_bounds = _gather_csr(plan.neg_offsets, edges)
+    neg_idx = plan.neg_rows[neg_flat]
+    neg_counts = plan.neg_counts[edges]
+    cat_flat, cat_bounds = _gather_csr(plan.ctx_cat_offsets, edges)
+    ctx_inverse = plan.ctx_inverse[cat_flat]
+    uniq_counts = np.diff(plan.ctx_uniq_offsets)[edges]
+    uniq_bounds = np.zeros(edges.size + 1, dtype=np.int64)
+    np.cumsum(uniq_counts, out=uniq_bounds[1:])
+
+    if not gather:
+        return ChunkTask(
+            cfg=cfg,
+            uv=uv,
+            deltas=deltas,
+            alpha_idx=alpha_idx,
+            inter_idx=inter_idx,
+            step_idx=step_idx,
+            step_sides=step_sides,
+            step_cums=step_cums,
+            step_bounds=step_bounds,
+            neg_idx=neg_idx,
+            neg_counts=neg_counts,
+            neg_bounds=neg_bounds,
+            ctx_inverse=ctx_inverse,
+            cat_bounds=cat_bounds,
+            uniq_bounds=uniq_bounds,
+            long_src=memory.long,
+            short_src=memory.short,
+            alpha_src=memory.alpha,
+            ctx_src=ctx_flat,
+        )
+
+    k = int(edges.size)
+    pair_nodes = uv.reshape(-1)
+    local_pairs = np.arange(2 * k, dtype=np.int64).reshape(k, 2)
+    inter_flat_rows = (
+        inter_idx.reshape(-1) if cfg.use_inter else np.empty(0, dtype=np.int64)
+    )
+    all_ctx_rows = np.concatenate((inter_flat_rows, step_idx, neg_idx))
+    uniq_ctx_rows, inverse = np.unique(all_ctx_rows, return_inverse=True)
+    n_inter = int(inter_flat_rows.size)
+    n_step = int(step_idx.size)
+    if cfg.use_inter:
+        inter_local = np.asarray(inverse[:n_inter], dtype=np.int64).reshape(k, 2)
+    else:
+        inter_local = np.zeros((k, 2), dtype=np.int64)
+    return ChunkTask(
+        cfg=cfg,
+        uv=local_pairs,
+        deltas=deltas,
+        alpha_idx=local_pairs,
+        inter_idx=inter_local,
+        step_idx=np.asarray(inverse[n_inter : n_inter + n_step], dtype=np.int64),
+        step_sides=step_sides,
+        step_cums=step_cums,
+        step_bounds=step_bounds,
+        neg_idx=np.asarray(inverse[n_inter + n_step :], dtype=np.int64),
+        neg_counts=neg_counts,
+        neg_bounds=neg_bounds,
+        ctx_inverse=ctx_inverse,
+        cat_bounds=cat_bounds,
+        uniq_bounds=uniq_bounds,
+        long_src=memory.long[pair_nodes],
+        short_src=memory.short[pair_nodes],
+        alpha_src=memory.alpha[alpha_idx.reshape(-1)],
+        ctx_src=ctx_flat[uniq_ctx_rows],
+    )
+
+
+def execute_chunk(task: ChunkTask) -> ChunkResult:
+    """Compute one chunk's gradient bundles (pure, no shared state).
+
+    Mirrors the per-edge body of ``BatchedEngine._execute_plan`` —
+    same kernels, same call order, same gradient-append order — but
+    writes gradients into per-chunk output arrays instead of applying
+    them: the coordinator owns every optimiser update.
+    """
+    cfg = task.cfg
+    dim = cfg.dim
+    use_inter = cfg.use_inter
+    use_prop = cfg.use_prop and cfg.num_walks > 0
+    use_neg = cfg.use_neg and cfg.num_negatives > 0
+    use_short = cfg.use_short_term
+    use_alpha = cfg.use_short_term and cfg.use_forgetting
+
+    target_forward = kernels.target_forward
+    target_backward = kernels.target_backward
+    propagation_forward_backward = kernels.propagation_forward_backward
+    negative_forward_backward = kernels.negative_forward_backward
+
+    uv = task.uv
+    deltas = task.deltas
+    alpha_idx = task.alpha_idx
+    inter_idx = task.inter_idx
+    step_idx = task.step_idx
+    step_sides = task.step_sides
+    step_cums = task.step_cums
+    step_bounds = task.step_bounds.tolist()
+    neg_idx = task.neg_idx
+    neg_counts = task.neg_counts.tolist()
+    neg_bounds = task.neg_bounds.tolist()
+    ctx_inverse = task.ctx_inverse
+    cat_bounds = task.cat_bounds.tolist()
+    uniq_bounds = task.uniq_bounds.tolist()
+    long_src = task.long_src
+    short_src = task.short_src
+    alpha_src = task.alpha_src
+    ctx_src = task.ctx_src
+
+    k = task.num_edges
+    losses = np.empty(k, dtype=np.float64)
+    inter_out = np.zeros(k, dtype=np.float64) if use_inter else None
+    prop_out = np.zeros(k, dtype=np.float64) if use_prop else None
+    neg_out = np.zeros(k, dtype=np.float64) if use_neg else None
+    g_long_out = np.empty((k, 2, dim), dtype=np.float64)
+    g_short_out = np.empty((k, 2, dim), dtype=np.float64) if use_short else None
+    g_alpha_out = np.empty((k, 2), dtype=np.float64) if use_alpha else None
+    ctx_summed = np.zeros((int(task.uniq_bounds[-1]), dim), dtype=np.float64)
+
+    busy = Timer()
+    with busy:
+        for i in range(k):
+            uv_i = uv[i]
+            alpha_i = alpha_idx[i]
+            deltas_i = deltas[i]
+            short_rows = short_src[uv_i]
+            alpha_values = alpha_src[alpha_i]
+            h_star, gamma, x, sig = target_forward(
+                long_src[uv_i], short_rows, alpha_values, deltas_i, cfg
+            )
+
+            grad_h = np.zeros((2, dim), dtype=np.float64)
+            ctx_grads_parts: List[np.ndarray] = []
+            loss_i = 0.0
+
+            if use_inter:
+                r = inter_idx[i]
+                inter = interaction_loss(
+                    h_star[0], ctx_src[r[0]], h_star[1], ctx_src[r[1]]
+                )
+                g_hu, g_cu, g_hv, g_cv = interaction_loss_backward(inter)
+                grad_h[0] += g_hu
+                grad_h[1] += g_hv
+                ctx_grads_parts.append(g_cu[None, :])
+                ctx_grads_parts.append(g_cv[None, :])
+                inter_out[i] = inter.loss
+                loss_i += inter.loss
+
+            if use_prop:
+                s0 = step_bounds[i]
+                s1 = step_bounds[i + 1]
+                prop_loss = 0.0
+                if s1 > s0:
+                    rows = step_idx[s0:s1]
+                    prop_loss, ctx_grads, grad_sides = (
+                        propagation_forward_backward(
+                            ctx_src[rows],
+                            h_star,
+                            step_sides[s0:s1],
+                            step_cums[s0:s1],
+                        )
+                    )
+                    grad_h += grad_sides
+                    ctx_grads_parts.append(ctx_grads)
+                    prop_out[i] = prop_loss
+                loss_i += prop_loss
+
+            if use_neg:
+                neg_loss = 0.0
+                n0 = neg_bounds[i]
+                counts = neg_counts[i]
+                for side in (0, 1):
+                    count = counts[side]
+                    if count:
+                        rows = neg_idx[n0 : n0 + count]
+                        side_loss, ctx_grads, grad_h_add = (
+                            negative_forward_backward(ctx_src[rows], h_star[side])
+                        )
+                        neg_loss += side_loss
+                        grad_h[side] += grad_h_add
+                        ctx_grads_parts.append(ctx_grads)
+                        n0 += count
+                neg_out[i] = neg_loss
+                loss_i += neg_loss
+
+            g_long, g_short, g_alpha = target_backward(
+                grad_h, short_rows, alpha_values, gamma, x, deltas_i, cfg, sig=sig
+            )
+            g_long_out[i] = g_long
+            if g_short is not None:
+                g_short_out[i] = g_short
+            if g_alpha is not None:
+                g_alpha_out[i] = g_alpha
+
+            if ctx_grads_parts:
+                gcat = (
+                    np.concatenate(ctx_grads_parts, axis=0)
+                    if len(ctx_grads_parts) > 1
+                    else ctx_grads_parts[0]
+                )
+                q0 = uniq_bounds[i]
+                n_uniq = uniq_bounds[i + 1] - q0
+                inv = ctx_inverse[cat_bounds[i] : cat_bounds[i + 1]]
+                block = ctx_summed[q0 : q0 + n_uniq]
+                if n_uniq == gcat.shape[0]:
+                    # All rows distinct: pure scatter into the zeroed
+                    # block (full coverage, so identical to the batched
+                    # engine's empty-array scatter).
+                    block[inv] = gcat
+                else:
+                    # Duplicates: zeros + np.add.at, the
+                    # kernels.accumulate_rows accumulation order.
+                    np.add.at(block, inv, gcat)
+
+            losses[i] = loss_i
+
+    return ChunkResult(
+        losses=losses,
+        inter=inter_out,
+        prop=prop_out,
+        neg=neg_out,
+        g_long=g_long_out,
+        g_short=g_short_out,
+        g_alpha=g_alpha_out,
+        ctx_summed=ctx_summed,
+        busy_seconds=busy.elapsed,
+    )

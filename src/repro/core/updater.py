@@ -137,3 +137,31 @@ def target_embeddings_batch(
     deltas = np.maximum(np.asarray(deltas, dtype=np.float64), 0.0)
     gammas = g_decay(_sigmoid(memory.alpha[slots]) * deltas)
     return memory.long[nodes] + gammas[:, None] * memory.short[nodes]
+
+
+def decayed_embedding_rows(
+    long_rows: np.ndarray,
+    short_rows: np.ndarray,
+    context_rows: np.ndarray,
+    alpha: np.ndarray,
+    slots: np.ndarray,
+    deltas: np.ndarray,
+) -> np.ndarray:
+    """Eq. 14 with Eq. 5 decay from *captured* component rows.
+
+    The delta-publishing serve store (:mod:`repro.serve.store`) keeps
+    ``(h^L, h^S, c^r)`` rows and rebuilds final embeddings lazily at a
+    frozen clock; this helper is that rebuild.  It applies exactly the
+    operation sequence of ``SUPA.final_embeddings`` →
+    :func:`target_embeddings_batch` (decayed branch) →
+    ``final_embedding``, so a materialised row is bitwise equal to the
+    live model's answer at the same clock.  ``deltas`` may contain
+    ``-inf``-derived non-finite values for never-seen nodes; they clamp
+    to 0 exactly as the model path does.
+    """
+    deltas = np.asarray(deltas, dtype=np.float64)
+    deltas = np.where(np.isfinite(deltas), np.maximum(deltas, 0.0), 0.0)
+    slots = np.asarray(slots, dtype=np.int64)
+    gammas = g_decay(_sigmoid(np.asarray(alpha, dtype=np.float64)[slots]) * deltas)
+    h_star = long_rows + gammas[:, None] * short_rows
+    return 0.5 * (h_star + context_rows)

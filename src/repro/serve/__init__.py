@@ -6,7 +6,9 @@ live platform while it learns"; this package is that deployment story:
 * :mod:`repro.serve.ingest` — bounded event queue with micro-batching,
   backpressure and a deadletter policy;
 * :mod:`repro.serve.store` — copy-on-write versioned embedding
-  snapshots (readers pin a version; updates publish atomically);
+  snapshots (readers pin a version; updates publish atomically), plus
+  the delta-publishing decayed store that keeps publishes sparse under
+  inference-time decay;
 * :mod:`repro.serve.index` — cached top-K retrieval with precise
   invalidation from the trainer's touched-node sets;
 * :mod:`repro.serve.service` — the :class:`RecommendationService`
@@ -22,11 +24,18 @@ from repro.serve.ingest import BackpressureError, DeadLetter, EventQueue
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.replay import ReplayReport, StreamReplayDriver
 from repro.serve.service import RecommendationService, ServeConfig
-from repro.serve.store import Snapshot, VersionedEmbeddingStore
+from repro.serve.store import (
+    DecayedEmbeddingStore,
+    DecayedSnapshot,
+    Snapshot,
+    VersionedEmbeddingStore,
+)
 
 __all__ = [
     "BackpressureError",
     "DeadLetter",
+    "DecayedEmbeddingStore",
+    "DecayedSnapshot",
     "EventQueue",
     "MetricsRegistry",
     "RecommendationService",

@@ -27,9 +27,10 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, Optional, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -41,7 +42,7 @@ from repro.obs.trace import NullTracer, Tracer, make_tracer
 from repro.serve.index import TopKIndex
 from repro.serve.ingest import BackpressureError, EventQueue
 from repro.serve.metrics import MetricsRegistry
-from repro.serve.store import VersionedEmbeddingStore
+from repro.serve.store import DecayedEmbeddingStore, VersionedEmbeddingStore
 
 
 @dataclass
@@ -64,6 +65,11 @@ class ServeConfig:
     store_block_size: int = 256  # rows per copy-on-write block
     compact_every: int = 64  # defragment the store every N publishes; 0 = never
     score_block: int = 512  # candidate rows per scoring matmul
+    #: Worker threads for the sharded update loop: touched-row Eq. 14
+    #: recomputes are striped across this many workers and merged into
+    #: one atomic snapshot (``publish_parts``).  1 keeps publishing
+    #: in-line on the update thread.
+    shard_workers: int = 1
     read_only: bool = False  # reject ingest (replica mode); reads still served
     # --- resilience (repro.resilience); all off by default -----------------
     wal_path: Optional[str] = None  # journal accepted events/batches here
@@ -119,6 +125,10 @@ class ServeConfig:
             raise ValueError(
                 "breaker_cooldown_events must be >= 1, got "
                 f"{self.breaker_cooldown_events}"
+            )
+        if self.shard_workers < 1:
+            raise ValueError(
+                f"shard_workers must be >= 1, got {self.shard_workers}"
             )
         if self.warm_users < 0:
             raise ValueError(
@@ -229,6 +239,8 @@ class RecommendationService:
             "recovery.replayed_events",
             "breaker.opened",
             "cache.warmed",
+            "shard.rounds",
+            "shard.publish.parts",
         ):
             self.metrics.counter(name)
         for name in (
@@ -236,17 +248,19 @@ class RecommendationService:
             "store.version",
             "staleness.events_behind",
             "breaker.state",
+            "shard.imbalance",
         ):
             self.metrics.gauge(name)
         for name in ("latency.recommend_seconds", "latency.update_seconds"):
             self.metrics.histogram(name)
         # Guards the service's scalar runtime state (_clock,
         # _update_in_flight, _updates_applied, breaker fields,
-        # _resilience_suspended, _read_only, _user_activity).  Leaf-like
-        # by contract: never call into the queue, store, index or
-        # metrics while holding it — it ranks between the queue lock
-        # and the store lock in the hierarchy (DESIGN.md §12) only
-        # because update dispatch runs under the queue lock.
+        # _resilience_suspended, _read_only, _user_activity,
+        # _shard_pool).  Leaf-like by contract: never call into the
+        # queue, store, index or metrics while holding it — it ranks
+        # between the queue lock and the store lock in the hierarchy
+        # (DESIGN.md §12) only because update dispatch runs under the
+        # queue lock.
         self._state_lock = threading.Lock()
         self._sleep = self.config.sleep_fn if self.config.sleep_fn else time.sleep
         self._clock = float(initial_clock)  # latest applied event timestamp
@@ -254,6 +268,10 @@ class RecommendationService:
         self._updates_applied = 0
         self._read_only = bool(self.config.read_only)
         self._user_activity: Dict[int, int] = {}
+        # Lazy worker pool for the sharded update loop (created on the
+        # first striped publish; the handle is used outside the lock —
+        # executors are thread-safe).
+        self._shard_pool: Optional[ThreadPoolExecutor] = None
         # --- resilience wiring (function-level imports keep repro.serve
         # importable on its own and avoid a serve <-> resilience cycle)
         self.wal = None
@@ -280,12 +298,37 @@ class RecommendationService:
                 metrics=self.metrics,
             )
 
-        all_nodes = np.arange(dataset.num_nodes, dtype=np.int64)
-        self.store = VersionedEmbeddingStore(
-            self.model.final_embeddings(all_nodes, self.edge_type, self._clock),
-            block_size=self.config.store_block_size,
-            compact_every=self.config.compact_every,
+        # Eq. 14 embeddings depend on wall-clock time (and alpha) only
+        # when decay-at-inference is on.  A dense store would then have
+        # to republish every row per update (the clock advance moves
+        # them all); instead the decayed path versions the time-free
+        # components and materialises decay lazily at read time
+        # (DecayedEmbeddingStore), keeping publishes O(touched rows).
+        cfg = self.model.config
+        self._decay_serving = bool(
+            cfg.use_short_term and cfg.use_forgetting and cfg.decay_at_inference
         )
+        all_nodes = np.arange(dataset.num_nodes, dtype=np.int64)
+        if self._decay_serving:
+            memory = self.model.memory
+            slot = memory.context_slot(schema.edge_type_id(self.edge_type))
+            self.store = DecayedEmbeddingStore(
+                np.concatenate(
+                    (memory.long, memory.short, memory.context[slot]), axis=1
+                ),
+                last_times=self.model.graph.last_interaction_times(all_nodes),
+                alpha=memory.alpha,
+                alpha_slots=memory.alpha_slots(self.model._node_type_ids),
+                clock=self._clock,
+                block_size=self.config.store_block_size,
+                compact_every=self.config.compact_every,
+            )
+        else:
+            self.store = VersionedEmbeddingStore(
+                self.model.final_embeddings(all_nodes, self.edge_type, self._clock),
+                block_size=self.config.store_block_size,
+                compact_every=self.config.compact_every,
+            )
         self.index = TopKIndex(
             self.items,
             cache_size=self.config.cache_size,
@@ -303,13 +346,6 @@ class RecommendationService:
             # Always installed: the hook no-ops without a WAL, which
             # lets attach_durability() start journaling post-promotion.
             journal=self._journal_decision,
-        )
-        # Eq. 14 embeddings depend on wall-clock time (and alpha) only
-        # when decay-at-inference is on; then every row must be
-        # republished per update instead of just the touched ones.
-        cfg = self.model.config
-        self._full_refresh = bool(
-            cfg.use_short_term and cfg.use_forgetting and cfg.decay_at_inference
         )
 
     # ------------------------------------------------------------------ intake
@@ -443,6 +479,7 @@ class RecommendationService:
             self.metrics.counter("cache.evictions").set(self.index.evictions)
             self.metrics.counter("store.compactions").set(self.store.compactions)
             self.metrics.gauge("store.version").set(snapshot.version)
+            self._record_shard_stats()
             self._record_activity(batch)
             self.warm_cache()
             self._maybe_checkpoint()
@@ -458,20 +495,89 @@ class RecommendationService:
         with self._state_lock:
             self._clock = max(self._clock, float(batch[len(batch) - 1].t))
             clock = self._clock
-        if self._full_refresh:
-            rows = np.arange(self.dataset.num_nodes, dtype=np.int64)
-        else:
-            # touched_nodes is a sorted tuple by contract
-            rows = np.asarray(report.touched_nodes, dtype=np.int64)
+        # touched_nodes is a sorted tuple by contract
+        rows = np.asarray(report.touched_nodes, dtype=np.int64)
         with self.tracer.span("serve.store.publish", rows=int(rows.size)):
-            snapshot = self.store.publish(
-                rows,
-                self.model.final_embeddings(rows, self.edge_type, clock),
-            )
-        touched = set(int(r) for r in rows)
+            if self._decay_serving:
+                snapshot = self._publish_components(rows, clock)
+            else:
+                parts = self._embedding_parts(rows, clock)
+                snapshot = self.store.publish_parts(parts)
+                if len(parts) > 1:
+                    self.metrics.counter("shard.publish.parts").inc(len(parts))
+        if self._decay_serving:
+            # The clock advance moved every decayed embedding, so every
+            # cached answer is potentially stale — same invalidation the
+            # old full republish implied, without the matrix rewrite.
+            touched = set(range(self.dataset.num_nodes))
+        else:
+            touched = set(int(r) for r in rows)
         with self.tracer.span("serve.index.invalidate"):
             self.index.invalidate(snapshot, touched, touched)
         return snapshot
+
+    def _publish_components(self, rows: np.ndarray, clock: float):
+        """Delta publish for the decayed store: touched components only."""
+        memory = self.model.memory
+        slot = memory.context_slot(self.dataset.schema.edge_type_id(self.edge_type))
+        components = np.concatenate(
+            (memory.long[rows], memory.short[rows], memory.context[slot, rows]),
+            axis=1,
+        )
+        return self.store.publish(
+            rows,
+            components,
+            last_times=self.model.graph.last_interaction_times(rows),
+            alpha=memory.alpha,
+            clock=clock,
+        )
+
+    def _ensure_shard_pool(self) -> ThreadPoolExecutor:
+        with self._state_lock:
+            pool = self._shard_pool
+            if pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=self.config.shard_workers,
+                    thread_name_prefix="repro-serve-shard",
+                )
+                self._shard_pool = pool
+        return pool
+
+    def _embedding_parts(
+        self, rows: np.ndarray, clock: float
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Eq. 14 rows for a dense publish, striped across the shard pool.
+
+        Stripes come from ``np.array_split`` over the sorted touched-row
+        list and merge back in stripe order, so the published values are
+        bitwise identical to a single-threaded recompute regardless of
+        ``shard_workers`` or pool scheduling (``final_embeddings`` is a
+        pure row-wise read of model state).
+        """
+        workers = self.config.shard_workers
+        if workers <= 1 or rows.size < 2 * workers:
+            return [(rows, self.model.final_embeddings(rows, self.edge_type, clock))]
+        stripes = [s for s in np.array_split(rows, workers) if s.size]
+        pool = self._ensure_shard_pool()
+        futures = [
+            pool.submit(self.model.final_embeddings, s, self.edge_type, clock)
+            for s in stripes
+        ]
+        return [(s, f.result()) for s, f in zip(stripes, futures)]
+
+    def _record_shard_stats(self) -> None:
+        """Mirror a sharded engine's scheduling counters into metrics.
+
+        No-op for the reference/batched engines: only
+        :class:`~repro.core.shard.executor.ShardedEngine` exposes
+        ``last_shard_stats``.
+        """
+        engine = self.model.engine
+        stats = getattr(engine, "last_shard_stats", None)
+        if stats is None:
+            return
+        self.metrics.counter("shard.rounds").set(engine.total_rounds)
+        self.metrics.gauge("shard.imbalance").set(float(stats["imbalance"]))
 
     def _register_update_failure(self, batch: EdgeStream, exc: Exception) -> None:
         """Deadletter a failed batch; trip the breaker at the threshold."""
@@ -684,8 +790,18 @@ class RecommendationService:
                 self._resilience_suspended = previous
 
     def close(self) -> None:
-        """Release the WAL file handle (a crashed process does this for
-        free; tests and drivers call it before recovering)."""
+        """Release pooled resources (idempotent): the serve-side shard
+        pool, a sharded engine's worker pool, and the WAL file handle (a
+        crashed process releases these for free; tests and drivers call
+        it before recovering)."""
+        with self._state_lock:
+            pool = self._shard_pool
+            self._shard_pool = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        engine_close = getattr(self.model.engine, "close", None)
+        if engine_close is not None:
+            engine_close()
         if self.wal is not None:
             self.wal.close()
 

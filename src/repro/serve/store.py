@@ -191,6 +191,29 @@ class VersionedEmbeddingStore:
                 new = self._compact_locked()
             return new
 
+    def publish_parts(
+        self, parts: Sequence[Tuple[np.ndarray, np.ndarray]]
+    ) -> Snapshot:
+        """Publish several ``(rows, values)`` stripes as ONE snapshot.
+
+        The sharded serve path computes disjoint row stripes on a worker
+        pool; they land here in *stripe order* (a pure function of the
+        sorted touched-row list, never of which worker finished first),
+        and are concatenated into a single atomic :meth:`publish` — so a
+        striped publish is bitwise identical to the unsharded one and
+        readers never observe a partially published update.
+        """
+        if not parts:
+            return self.publish(
+                np.empty(0, dtype=np.int64), np.empty((0, self.dim), dtype=np.float64)
+            )
+        rows = np.concatenate([np.asarray(r, dtype=np.int64) for r, _ in parts])
+        values = np.concatenate(
+            [np.asarray(v, dtype=np.float64).reshape(-1, self.dim) for _, v in parts],
+            axis=0,
+        )
+        return self.publish(rows, values)
+
     def _compact_locked(self) -> Snapshot:
         """Rebuild the current snapshot over one contiguous buffer.
 
@@ -221,3 +244,235 @@ class VersionedEmbeddingStore:
         """
         with self._lock:
             return self._compact_locked()
+
+
+class DecayedSnapshot:
+    """A :class:`Snapshot` duck-type that materialises decay lazily.
+
+    Wraps a component snapshot whose rows are ``concat(h^L, h^S, c^r)``
+    (width ``3d``) plus the decay inputs frozen at publish time — the
+    clock, per-node last-interaction times and the alpha parameters.
+    Blocks of the logical ``(num_rows, d)`` decayed Eq. 14 matrix are
+    computed on first access (:func:`repro.core.updater.decayed_embedding_rows`)
+    and cached; materialisation is a pure function of the frozen inputs,
+    so racing readers compute identical bits and keep-first caching is
+    harmless.
+    """
+
+    def __init__(
+        self,
+        components: Snapshot,
+        clock: float,
+        last_times: np.ndarray,
+        alpha: np.ndarray,
+        alpha_slots: np.ndarray,
+    ):
+        if components.dim % 3:
+            raise ValueError(
+                f"component width {components.dim} is not 3 * dim"
+            )
+        self._components = components
+        self.version = components.version
+        self.num_rows = components.num_rows
+        self.dim = components.dim // 3
+        self.clock = float(clock)
+        self._last_times = last_times
+        self._alpha = alpha
+        self._slots = alpha_slots
+        self._block_size = components._block_size
+        # Guards the lazy block cache only; materialisation runs outside
+        # it (pure, race-benign) so readers never wait on a rebuild.
+        self._lock = threading.Lock()
+        self._cache: Dict[int, np.ndarray] = {}
+
+    @property
+    def num_blocks(self) -> int:
+        return self._components.num_blocks
+
+    def block_rows(self, index: int) -> Tuple[int, int]:
+        """Half-open global row range ``[lo, hi)`` covered by a block."""
+        return self._components.block_rows(index)
+
+    def _materialize(self, index: int) -> np.ndarray:
+        from repro.core.updater import decayed_embedding_rows
+
+        comp = self._components.block(index)
+        lo, hi = self._components.block_rows(index)
+        d = self.dim
+        return _freeze(
+            decayed_embedding_rows(
+                comp[:, :d],
+                comp[:, d : 2 * d],
+                comp[:, 2 * d :],
+                self._alpha,
+                self._slots[lo:hi],
+                self.clock - self._last_times[lo:hi],
+            )
+        )
+
+    def block(self, index: int) -> np.ndarray:
+        """The ``index``-th decayed row block (read-only, cached)."""
+        with self._lock:
+            cached = self._cache.get(index)
+        if cached is not None:
+            return cached
+        computed = self._materialize(index)
+        with self._lock:
+            return self._cache.setdefault(index, computed)
+
+    def row(self, index: int) -> np.ndarray:
+        """One decayed embedding row (read-only view)."""
+        if not 0 <= index < self.num_rows:
+            raise IndexError(f"row {index} outside store of {self.num_rows} rows")
+        block, offset = divmod(index, self._block_size)
+        return self.block(block)[offset]
+
+    def rows(self, indices: Sequence[int]) -> np.ndarray:
+        """Gather ``indices`` into a fresh ``(len(indices), dim)`` array."""
+        indices = np.asarray(indices, dtype=np.int64)
+        out = np.empty((indices.size, self.dim), dtype=np.float64)
+        blocks, offsets = np.divmod(indices, self._block_size)
+        for i in range(indices.size):
+            out[i] = self.block(int(blocks[i]))[offsets[i]]
+        return out
+
+    def matrix(self) -> np.ndarray:
+        """The full decayed matrix as one fresh array — test helper."""
+        if not self.num_blocks:
+            return np.empty((0, 0), dtype=np.float64)
+        return np.concatenate(
+            [self.block(i) for i in range(self.num_blocks)], axis=0
+        )
+
+
+class DecayedEmbeddingStore:
+    """Delta-publishing store for ``decay_at_inference`` models.
+
+    Publishing final Eq. 14 embeddings under inference-time decay is
+    pathological for a copy-on-write store: every update advances the
+    clock, which moves *every* node's decayed embedding, so each publish
+    would rewrite the full matrix.  This store factors the decay out of
+    the stored value: an inner :class:`VersionedEmbeddingStore` versions
+    the decay-invariant components ``concat(h^L, h^S, c^r)`` — touched
+    rows only, O(touched) per publish — while the cheap decay inputs
+    (clock, last-interaction times, alpha) ride along as per-snapshot
+    metadata.  Readers get a :class:`DecayedSnapshot` that materialises
+    the decayed matrix block-by-block on demand, bitwise equal to
+    ``SUPA.final_embeddings`` at the snapshot clock.
+
+    The per-publish metadata cost is ``O(num_rows)`` *scalars* (the
+    last-time vector copy) against the dense store's ``O(num_rows * d)``
+    row refresh — and the component blocks themselves stay structurally
+    shared between consecutive snapshots.
+    """
+
+    def __init__(
+        self,
+        components: np.ndarray,
+        last_times: np.ndarray,
+        alpha: np.ndarray,
+        alpha_slots: np.ndarray,
+        clock: float = 0.0,
+        block_size: int = 256,
+        compact_every: int = 0,
+    ):
+        components = np.asarray(components, dtype=np.float64)
+        if components.ndim != 2 or components.shape[1] % 3:
+            raise ValueError(
+                "components must be (num_rows, 3 * dim), got shape "
+                f"{components.shape}"
+            )
+        self._inner = VersionedEmbeddingStore(
+            components, block_size=block_size, compact_every=compact_every
+        )
+        self.num_rows = self._inner.num_rows
+        self.dim = components.shape[1] // 3
+        last_times = np.asarray(last_times, dtype=np.float64)
+        if last_times.shape != (self.num_rows,):
+            raise ValueError(
+                f"last_times shape {last_times.shape} != ({self.num_rows},)"
+            )
+        self._slots = _freeze(np.asarray(alpha_slots, dtype=np.int64).copy())
+        if self._slots.shape != (self.num_rows,):
+            raise ValueError(
+                f"alpha_slots shape {self._slots.shape} != ({self.num_rows},)"
+            )
+        self._lock = threading.Lock()
+        self._current = DecayedSnapshot(
+            self._inner.snapshot(),
+            clock,
+            _freeze(last_times.copy()),
+            _freeze(np.asarray(alpha, dtype=np.float64).copy()),
+            self._slots,
+        )
+
+    @property
+    def version(self) -> int:
+        # Wait-free like VersionedEmbeddingStore.version.
+        return self._current.version  # reprolint: disable=lock-discipline
+
+    @property
+    def block_size(self) -> int:
+        return self._inner.block_size
+
+    @property
+    def compactions(self) -> int:
+        return self._inner.compactions
+
+    def snapshot(self) -> DecayedSnapshot:
+        """The latest published snapshot; holding it pins the version.
+
+        Wait-free for the same reason as
+        :meth:`VersionedEmbeddingStore.snapshot`: publication swaps one
+        reference to an immutable snapshot.
+        """
+        return self._current  # reprolint: disable=lock-discipline
+
+    def publish(
+        self,
+        rows: Sequence[int],
+        components: np.ndarray,
+        last_times: np.ndarray,
+        alpha: np.ndarray,
+        clock: float,
+    ) -> DecayedSnapshot:
+        """Publish new component rows plus the decay inputs at ``clock``.
+
+        ``components`` are ``concat(h^L, h^S, c^r)`` rows for ``rows``;
+        ``last_times`` their new last-interaction times; ``alpha`` the
+        full (tiny) forgetting-parameter vector.  Only the touched
+        component blocks are copied — the clock advance that moves every
+        decayed embedding costs snapshot metadata, not a matrix rewrite.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        with self._lock:
+            old = self._current
+            if rows.size:
+                new_last = old._last_times.copy()
+                new_last[rows] = np.asarray(last_times, dtype=np.float64)
+                _freeze(new_last)
+            else:
+                new_last = old._last_times
+            snap = DecayedSnapshot(
+                self._inner.publish(rows, components),
+                clock,
+                new_last,
+                _freeze(np.asarray(alpha, dtype=np.float64).copy()),
+                self._slots,
+            )
+            self._current = snap
+            return snap
+
+    def compact(self) -> DecayedSnapshot:
+        """Defragment the inner component store (content-preserving)."""
+        with self._lock:
+            old = self._current
+            snap = DecayedSnapshot(
+                self._inner.compact(),
+                old.clock,
+                old._last_times,
+                old._alpha,
+                self._slots,
+            )
+            self._current = snap
+            return snap
