@@ -165,7 +165,7 @@ class ExplicitDtypeRule(Rule):
     #: coercions/ranges must pin their dtype (platform default int drift
     #: would silently break the parity gate, not just precision).
     ENGINE_CONSTRUCTORS = {**CONSTRUCTORS, "asarray": 1, "arange": 3}
-    SCOPES = ("core/", "autograd/", "serve/", "resilience/", "replicate/")
+    SCOPES = ("core/", "autograd/", "serve/", "resilience/", "replicate/", "obs/")
     ENGINE_SCOPE = ("core/engine/", "core/shard/")
 
     def applies_to(self, sf: SourceFile) -> bool:

@@ -265,7 +265,10 @@ def default_audits() -> List[Audit]:
     the two so they cannot drift apart.
     """
     from repro.core.shard.executor import ShardedEngine
+    from repro.obs.hdr import HdrHistogram
     from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+    from repro.obs.quality import StreamingQualityEvaluator
+    from repro.obs.slo import SLOMonitor
     from repro.replicate.follower import ReplicationFollower
     from repro.resilience.checkpoint import CheckpointManager
     from repro.resilience.wal import WalTailer, WriteAheadLog
@@ -313,6 +316,23 @@ def default_audits() -> List[Audit]:
             Histogram,
             "_lock",
             {"count", "sum", "sum_sq", "max_value", "_samples"},
+        ),
+        audit(
+            HdrHistogram,
+            "_lock",
+            {"_counts", "count", "sum", "min_observed", "max_observed"},
+        ),
+        # _states mutations route through a local alias of the per-SLO
+        # state object, which is exactly what the static rule sees too.
+        audit(SLOMonitor, "_lock", {"_alerts"}),
+        audit(
+            StreamingQualityEvaluator,
+            "_lock",
+            {
+                "_seen", "_window_hits", "_window_rr", "_evaluated", "_hits",
+                "_rr_sum", "_records", "_cohort_evaluated", "_cohort_hits",
+                "_baseline", "_last_version",
+            },
         ),
         audit(MetricsRegistry, "_lock", {"_instruments"}),
         audit(

@@ -34,9 +34,16 @@ Commands:
   tree (see :mod:`repro.analysis`).
 * ``obs`` — run a short traced replay and print the observability
   story: span tree, flame table, metrics snapshot, plus Prometheus-text
-  and JSONL exports (see :mod:`repro.obs`).
+  and JSONL exports (see :mod:`repro.obs`); ``--watch`` polls and
+  prints counter/gauge deltas while the replay runs.
+* ``loadtest`` — the open-loop SLO harness (see
+  :mod:`repro.obs.loadgen`): calibrate closed-loop capacity, then sweep
+  offered-rate tiers with seeded Poisson/bursty/ramp arrivals and
+  report p50/p99/p999 end-to-end latency split into queue wait vs
+  service time, gated on the SLO contract.
 
-Every command is deterministic for a fixed ``--seed``.
+Every command is deterministic for a fixed ``--seed`` (loadtest latency
+numbers vary with the machine; its arrival schedules do not).
 """
 
 from __future__ import annotations
@@ -337,6 +344,7 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
 def cmd_obs(args: argparse.Namespace) -> int:
     """Run a short traced replay and print the full telemetry story."""
     from repro.obs import (
+        MetricsWatcher,
         format_flame_table,
         format_span_tree,
         to_prometheus_text,
@@ -358,7 +366,30 @@ def cmd_obs(args: argparse.Namespace) -> int:
         trace=True,
     )
     service = driver.build_service()
-    report = driver.run(service)
+    if args.watch:
+        import threading
+
+        watcher = MetricsWatcher(
+            service.metrics,
+            args.watch_metrics,
+            interval_seconds=args.watch_interval,
+        )
+        outcome = {}
+        runner = threading.Thread(
+            target=lambda: outcome.update(report=driver.run(service)),
+            name="repro-obs-replay",
+            daemon=True,
+        )
+        print(f"watching {', '.join(watcher.names)} every {watcher.interval_seconds}s:")
+        runner.start()
+        watcher.watch(emit=print, until=lambda: not runner.is_alive())
+        runner.join()
+        # Final row so short replays always show at least one delta line.
+        print(watcher.format_row(watcher.poll()))
+        print()
+        report = outcome["report"]
+    else:
+        report = driver.run(service)
     tracer = service.tracer
 
     print(
@@ -393,6 +424,103 @@ def cmd_obs(args: argparse.Namespace) -> int:
         print(f"wrote {prom_path}")
         print(f"wrote {jsonl_path}")
     return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Open-loop offered-load sweep with the SLO gate (see ISSUE/DESIGN §15)."""
+    import json
+    import time
+
+    from repro.core.model import SUPA
+    from repro.obs.loadgen import run_offered_load_sweep, sweep_gate_failures
+    from repro.obs.quality import StreamingQualityEvaluator
+    from repro.serve.service import RecommendationService, ServeConfig
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    edges = list(dataset.stream)
+    if args.events:
+        edges = edges[: args.events]
+
+    def service_factory() -> RecommendationService:
+        model = SUPA.for_dataset(
+            dataset,
+            config=SUPAConfig(
+                dim=args.dim, num_walks=2, walk_length=2, seed=args.seed
+            ),
+        )
+        return RecommendationService(
+            dataset,
+            model=model,
+            config=ServeConfig(
+                batch_size=args.batch_size,
+                capacity=args.capacity,
+                overflow="drop_new",
+                clock_fn=time.perf_counter,
+            ),
+        )
+
+    quality_factory = None
+    if args.quality:
+        quality_factory = lambda service: StreamingQualityEvaluator(
+            service, k=args.k
+        )
+    sweep = run_offered_load_sweep(
+        service_factory,
+        edges,
+        fractions=args.tiers,
+        kind=args.arrival,
+        seed=args.seed,
+        k=args.k,
+        query_every=args.query_every,
+        quality_factory=quality_factory,
+    )
+    rows = [
+        [
+            f"{tier['fraction_of_capacity']:g}x",
+            f"{tier['offered_rate']:.0f}",
+            f"{tier['achieved_rate']:.0f}",
+            f"{tier['e2e']['p50'] * 1e3:.2f}",
+            f"{tier['e2e']['p99'] * 1e3:.2f}",
+            f"{tier['e2e']['p99.9'] * 1e3:.2f}",
+            f"{tier['queue_wait']['p99'] * 1e3:.2f}",
+            f"{tier['service']['p99'] * 1e3:.2f}",
+            str(tier["hdr_p999_bucket_error"]),
+        ]
+        for tier in sweep["tiers"]
+    ]
+    print(
+        format_table(
+            [
+                "tier",
+                "offered/s",
+                "achieved/s",
+                "e2e p50 ms",
+                "e2e p99 ms",
+                "e2e p999 ms",
+                "qwait p99 ms",
+                "service p99 ms",
+                "p999 Δbuckets",
+            ],
+            rows,
+            title=(
+                f"loadtest: {args.dataset} (scale={args.scale}, "
+                f"{args.arrival} arrivals, capacity "
+                f"{sweep['capacity_events_per_second']:.0f} events/s)"
+            ),
+        )
+    )
+    if args.output:
+        os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(sweep, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    if args.no_gate:
+        return 0
+    failures = sweep_gate_failures(sweep)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
 
 
 def _replication_pieces(args: argparse.Namespace):
@@ -945,7 +1073,89 @@ def build_parser() -> argparse.ArgumentParser:
         default=os.path.join("benchmarks", "results"),
         help="directory for the .prom / .jsonl exports ('' to skip)",
     )
+    p.add_argument(
+        "--watch",
+        action="store_true",
+        help="poll-and-print metric deltas while the replay runs",
+    )
+    p.add_argument(
+        "--watch-interval",
+        type=float,
+        default=0.5,
+        help="seconds between --watch polls",
+    )
+    p.add_argument(
+        "--watch-metrics",
+        nargs="+",
+        default=[
+            "ingest.accepted",
+            "updates.applied",
+            "serve.recommendations",
+            "queue.pending",
+        ],
+        help="counter/gauge names to watch",
+    )
     p.set_defaults(func=cmd_obs)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="open-loop offered-load sweep: calibrate capacity, drive "
+        "Poisson/bursty/ramp arrivals, report tail latency split into "
+        "queue wait vs service time, gate on the SLO contract",
+    )
+    p.add_argument(
+        "--dataset", default="uci", choices=sorted(DATASET_BUILDERS)
+    )
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--batch-size", type=int, default=64)
+    p.add_argument("--capacity", type=int, default=4096)
+    p.add_argument(
+        "--events",
+        type=int,
+        default=400,
+        help="requests per tier (stream prefix length)",
+    )
+    p.add_argument(
+        "--arrival",
+        default="poisson",
+        choices=["poisson", "bursty", "ramp"],
+        help="arrival process for every tier",
+    )
+    p.add_argument(
+        "--tiers",
+        type=float,
+        nargs="+",
+        default=[0.02, 0.5, 2.0],
+        help="offered rate as fractions of calibrated capacity; keep the "
+        "lowest tier well under the batch-update duty cycle so queue "
+        "waits are rare there (the gate checks that tier)",
+    )
+    p.add_argument(
+        "--query-every",
+        type=int,
+        default=4,
+        help="issue a top-K query on every Nth request",
+    )
+    p.add_argument(
+        "--quality",
+        action="store_true",
+        help="run the streaming hold-out quality evaluator per tier "
+        "(queries every request)",
+    )
+    p.add_argument(
+        "--output",
+        default=os.path.join("benchmarks", "results", "loadtest.json"),
+        help="write the sweep JSON here ('' to skip)",
+    )
+    p.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="report only; skip the SLO gate exit code",
+    )
+    p.set_defaults(func=cmd_loadtest)
 
     p = sub.add_parser(
         "replicate",

@@ -11,9 +11,20 @@ One dependency-free subsystem shared by every layer:
   aggregated parent/child span tree, JSON export and a self-time flame
   table; the default :data:`NULL_TRACER` is a no-op so instrumented hot
   paths cost nothing until tracing is switched on;
-* :mod:`repro.obs.export` — Prometheus-style text exposition and a
-  JSONL snapshot writer so replay drivers and benchmark harnesses
-  persist comparable telemetry next to their tables.
+* :mod:`repro.obs.export` — Prometheus-style text exposition (including
+  cumulative ``_bucket{le=...}`` families for HDR-backed histograms), a
+  JSONL snapshot writer, and the poll-and-print
+  :class:`~repro.obs.export.MetricsWatcher` behind ``repro obs --watch``;
+* :mod:`repro.obs.hdr` — fixed log-bucketed
+  :class:`~repro.obs.hdr.HdrHistogram`: exact per-bucket counts in
+  bounded memory, so p99/p999 stay accurate at any observation count;
+* :mod:`repro.obs.loadgen` — the open-loop load harness: seeded
+  Poisson/bursty/ramp arrival processes driving the service at a fixed
+  offered rate with queue-wait vs service-time attribution;
+* :mod:`repro.obs.slo` — declarative SLOs evaluated as multi-window
+  burn rates with alert records;
+* :mod:`repro.obs.quality` — online quality telemetry: prequential
+  hold-out hit-rate/MRR, node-age cohorts, embedding-drift norms.
 
 Span names follow the ``layer.component.phase`` convention documented
 in DESIGN.md §10 (e.g. ``core.inslearn.replay``, ``core.engine.compile``,
@@ -21,11 +32,29 @@ in DESIGN.md §10 (e.g. ``core.inslearn.replay``, ``core.engine.compile``,
 """
 
 from repro.obs.export import (
+    MetricsWatcher,
     parse_prometheus_text,
     to_prometheus_text,
     write_jsonl_snapshot,
 )
+from repro.obs.hdr import HdrHistogram, exact_percentile
+from repro.obs.loadgen import (
+    ArrivalProcess,
+    LoadReport,
+    OpenLoopLoadGenerator,
+    RequestEnvelope,
+    hdr_bucket_error,
+    measure_capacity,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.quality import QualityRecord, StreamingQualityEvaluator
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    SLO,
+    AlertRecord,
+    BurnWindow,
+    SLOMonitor,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -40,7 +69,23 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HdrHistogram",
+    "exact_percentile",
     "MetricsRegistry",
+    "MetricsWatcher",
+    "ArrivalProcess",
+    "LoadReport",
+    "OpenLoopLoadGenerator",
+    "RequestEnvelope",
+    "hdr_bucket_error",
+    "measure_capacity",
+    "QualityRecord",
+    "StreamingQualityEvaluator",
+    "SLO",
+    "SLOMonitor",
+    "AlertRecord",
+    "BurnWindow",
+    "DEFAULT_WINDOWS",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",

@@ -1,0 +1,233 @@
+"""Fixed log-bucketed (HDR-style) histograms: tail-accurate, bounded.
+
+The reservoir :class:`~repro.obs.metrics.Histogram` keeps exact streaming
+moments but samples percentiles from at most ``reservoir_size`` values —
+beyond that bound, p99/p999 are estimates whose error grows with the
+observation count.  :class:`HdrHistogram` is the complementary backend:
+a fixed array of geometrically spaced buckets covering
+``[min_value, max_value]`` with ``buckets_per_decade`` buckets per
+decade.  Every observation lands in exactly one bucket (exact counts,
+no sampling), so any quantile is correct to within one bucket's relative
+width — ``10 ** (1 / buckets_per_decade) - 1`` (~8% at the default 30
+buckets/decade) — no matter how many samples have been seen, at a fixed
+memory cost of one ``int64`` per bucket.
+
+This is the property SLO reporting needs: a p999 read from a reservoir
+of 4096 samples is dominated by sampling noise, while a p999 read from
+exact bucket counts is wrong by at most one bucket boundary.  The bucket
+layout also maps directly onto Prometheus *histogram* exposition
+(cumulative ``_bucket{le="..."}`` series, rendered by
+:mod:`repro.obs.export`), and :meth:`count_above` gives SLO burn-rate
+evaluation (:mod:`repro.obs.slo`) an exact good/bad split at any bucket
+boundary.
+
+Values below ``min_value`` clamp into the first bucket; values above
+``max_value`` land in the overflow (``+Inf``) bucket.  The defaults span
+1 microsecond to 1000 seconds, which covers every latency this system
+records.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class HdrHistogram:
+    """Exact-count log-bucketed histogram with bounded memory.
+
+    Thread-safe: a single lock guards the bucket counts and the
+    streaming moments (count/sum/min/max).  Reads snapshot under the
+    lock and compute outside it.
+    """
+
+    #: percentiles reported by :meth:`as_dict`.
+    PERCENTILES = (50.0, 95.0, 99.0, 99.9)
+
+    def __init__(
+        self,
+        name: str,
+        min_value: float = 1e-6,
+        max_value: float = 1e3,
+        buckets_per_decade: int = 30,
+    ):
+        if min_value <= 0.0:
+            raise ValueError(f"min_value must be > 0, got {min_value}")
+        if max_value <= min_value:
+            raise ValueError(
+                f"max_value must exceed min_value ({min_value} -> {max_value})"
+            )
+        if buckets_per_decade < 1:
+            raise ValueError(
+                f"buckets_per_decade must be >= 1, got {buckets_per_decade}"
+            )
+        self.name = name
+        self.min_value = float(min_value)
+        self.max_value = float(max_value)
+        self.buckets_per_decade = int(buckets_per_decade)
+        decades = math.log10(max_value / min_value)
+        n_buckets = int(math.ceil(decades * buckets_per_decade)) + 1
+        growth = 10.0 ** (1.0 / buckets_per_decade)
+        # _boundaries[i] is the inclusive upper bound (Prometheus ``le``)
+        # of bucket i; one extra overflow bucket catches values above the
+        # last boundary.  Immutable after construction.
+        self._boundaries = self.min_value * growth ** np.arange(
+            n_buckets, dtype=np.float64
+        )
+        self._counts = np.zeros(n_buckets + 1, dtype=np.int64)
+        self.count = 0
+        self.sum = 0.0
+        self.min_observed = 0.0
+        self.max_observed = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of finite buckets (the overflow bucket excluded)."""
+        return int(self._boundaries.size)
+
+    @property
+    def relative_error(self) -> float:
+        """Worst-case relative quantile error: one bucket's width."""
+        return 10.0 ** (1.0 / self.buckets_per_decade) - 1.0
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """Copy of the inclusive bucket upper bounds (``le`` values)."""
+        return self._boundaries.copy()
+
+    def bucket_index(self, value: float) -> int:
+        """Index of the bucket ``value`` lands in (last = overflow)."""
+        idx = int(np.searchsorted(self._boundaries, float(value), side="left"))
+        return idx  # == boundaries.size for overflow
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = self.bucket_index(value)
+        with self._lock:
+            self._counts[idx] += 1
+            self.count += 1
+            self.sum += value
+            if self.count == 1 or value < self.min_observed:
+                self.min_observed = value
+            if self.count == 1 or value > self.max_observed:
+                self.max_observed = value
+
+    def _snapshot(self) -> Tuple[np.ndarray, int, float, float, float]:
+        with self._lock:
+            return (
+                self._counts.copy(),
+                self.count,
+                self.sum,
+                self.min_observed,
+                self.max_observed,
+            )
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile as a bucket upper bound (0.0 if empty).
+
+        The returned boundary is >= the exact quantile and within one
+        bucket of it (:attr:`relative_error` relative width); overflow
+        observations report the exact observed maximum.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        counts, count, _, _, max_observed = self._snapshot()
+        if count == 0:
+            return 0.0
+        rank = max(1, int(math.ceil(p / 100.0 * count)))
+        cumulative = np.cumsum(counts)
+        idx = int(np.searchsorted(cumulative, rank, side="left"))
+        if idx >= self._boundaries.size:
+            return float(max_observed)
+        return float(self._boundaries[idx])
+
+    def count_above(self, threshold: float) -> int:
+        """Exact number of observations above ``threshold``'s bucket.
+
+        Counts observations in buckets strictly above the bucket that
+        contains ``threshold`` — exact when ``threshold`` is a bucket
+        boundary, otherwise a lower bound that undercounts by at most
+        the contents of one bucket.  This is the "bad events" side of a
+        latency SLO (:mod:`repro.obs.slo`).
+        """
+        idx = self.bucket_index(threshold)
+        counts, _, _, _, _ = self._snapshot()
+        return int(counts[idx + 1 :].sum())
+
+    def good_bad(self, threshold: float) -> Tuple[int, int]:
+        """``(good, bad)`` split at ``threshold`` from one snapshot.
+
+        ``bad`` follows :meth:`count_above` semantics; ``good`` is the
+        remainder, so ``good + bad == count`` is exact even while other
+        threads are observing.
+        """
+        idx = self.bucket_index(threshold)
+        counts, count, _, _, _ = self._snapshot()
+        bad = int(counts[idx + 1 :].sum())
+        return count - bad, bad
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs for Prometheus exposition.
+
+        Leading all-zero buckets are trimmed and trailing buckets are cut
+        once the cumulative count reaches the total; the ``+Inf`` bucket
+        is always emitted last so ``_bucket{le="+Inf"} == _count`` holds.
+        """
+        counts, count, _, _, _ = self._snapshot()
+        cumulative = np.cumsum(counts[:-1])
+        pairs: List[Tuple[float, int]] = []
+        finite_total = int(cumulative[-1]) if cumulative.size else 0
+        if finite_total > 0:
+            first = int(np.argmax(cumulative > 0))
+            for i in range(first, cumulative.size):
+                pairs.append((float(self._boundaries[i]), int(cumulative[i])))
+                if cumulative[i] >= finite_total:
+                    break
+        pairs.append((math.inf, int(count)))
+        return pairs
+
+    def as_dict(self) -> Dict[str, object]:
+        counts, count, total, min_observed, max_observed = self._snapshot()
+        summary: Dict[str, object] = {
+            "type": "hdr_histogram",
+            "count": int(count),
+            "sum": float(total),
+            "mean": float(total / count) if count else 0.0,
+            "min": float(min_observed) if count else 0.0,
+            "max": float(max_observed) if count else 0.0,
+            "relative_error": self.relative_error,
+        }
+        cumulative = np.cumsum(counts)
+        for p in self.PERCENTILES:
+            if count == 0:
+                summary[f"p{p:g}"] = 0.0
+                continue
+            rank = max(1, int(math.ceil(p / 100.0 * count)))
+            idx = int(np.searchsorted(cumulative, rank, side="left"))
+            if idx >= self._boundaries.size:
+                summary[f"p{p:g}"] = float(max_observed)
+            else:
+                summary[f"p{p:g}"] = float(self._boundaries[idx])
+        summary["buckets"] = [
+            [le if math.isfinite(le) else "+Inf", c]
+            for le, c in self.cumulative_buckets()
+        ]
+        return summary
+
+
+def exact_percentile(values: Sequence[float], p: float) -> float:
+    """Rank-based exact quantile matching :meth:`HdrHistogram.percentile`.
+
+    Uses the same ceil-rank definition (the smallest value with at least
+    ``ceil(p/100 * n)`` observations at or below it) so tests can compare
+    the HDR estimate against ground truth bucket-for-bucket.
+    """
+    data = np.sort(np.asarray(values, dtype=np.float64))
+    if data.size == 0:
+        return 0.0
+    rank = max(1, int(math.ceil(p / 100.0 * data.size)))
+    return float(data[rank - 1])

@@ -27,10 +27,11 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -87,6 +88,14 @@ class ServeConfig:
     #: :func:`time.sleep`.  Tests pass a recording fake so retry timing
     #: is deterministic and never actually blocks.
     sleep_fn: Optional[Callable[[float], None]] = None
+    #: injectable monotonic clock for per-event stage timestamping:
+    #: when set, each accepted event is stamped at admission and its
+    #: queue wait (admission → batch dispatch) lands in the HDR-backed
+    #: ``latency.queue_wait_seconds`` histogram, separating time spent
+    #: buffered from service time proper.  ``None`` (the default) keeps
+    #: the ingest path stamp-free.  The load harness and benches pass
+    #: ``time.perf_counter``; tests pass a fake clock.
+    clock_fn: Optional[Callable[[], float]] = None
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -253,6 +262,15 @@ class RecommendationService:
             self.metrics.gauge(name)
         for name in ("latency.recommend_seconds", "latency.update_seconds"):
             self.metrics.histogram(name)
+        # Tail-accurate (HDR-backed) stage histograms: queue wait
+        # (admission → dispatch, stamped only when ``clock_fn`` is set)
+        # and the train/publish split inside each update.
+        for name in (
+            "latency.queue_wait_seconds",
+            "stage.train_seconds",
+            "stage.publish_seconds",
+        ):
+            self.metrics.histogram(name, hdr=True)
         # Guards the service's scalar runtime state (_clock,
         # _update_in_flight, _updates_applied, breaker fields,
         # _resilience_suspended, _read_only, _user_activity,
@@ -263,6 +281,12 @@ class RecommendationService:
         # queue lock.
         self._state_lock = threading.Lock()
         self._sleep = self.config.sleep_fn if self.config.sleep_fn else time.sleep
+        self._stage_clock = self.config.clock_fn
+        # Accept-time stamps for currently buffered events.  Appended
+        # and popped exclusively inside the queue's journal hook — i.e.
+        # always under the queue's lock — so the deque needs no lock of
+        # its own and the state lock is never involved.
+        self._accept_times: Deque[float] = deque()
         self._clock = float(initial_clock)  # latest applied event timestamp
         self._update_in_flight = False
         self._updates_applied = 0
@@ -491,29 +515,32 @@ class RecommendationService:
         """The transactional core of one update; returns the snapshot."""
         with self._state_lock:
             batch_index = self._updates_applied
-        report = self.trainer.train_one_batch(batch, batch_index=batch_index)
+        with self.metrics.histogram("stage.train_seconds").time():
+            report = self.trainer.train_one_batch(batch, batch_index=batch_index)
         with self._state_lock:
             self._clock = max(self._clock, float(batch[len(batch) - 1].t))
             clock = self._clock
         # touched_nodes is a sorted tuple by contract
         rows = np.asarray(report.touched_nodes, dtype=np.int64)
-        with self.tracer.span("serve.store.publish", rows=int(rows.size)):
+        with self.metrics.histogram("stage.publish_seconds").time():
+            with self.tracer.span("serve.store.publish", rows=int(rows.size)):
+                if self._decay_serving:
+                    snapshot = self._publish_components(rows, clock)
+                else:
+                    parts = self._embedding_parts(rows, clock)
+                    snapshot = self.store.publish_parts(parts)
+                    if len(parts) > 1:
+                        self.metrics.counter("shard.publish.parts").inc(len(parts))
             if self._decay_serving:
-                snapshot = self._publish_components(rows, clock)
+                # The clock advance moved every decayed embedding, so
+                # every cached answer is potentially stale — same
+                # invalidation the old full republish implied, without
+                # the matrix rewrite.
+                touched = set(range(self.dataset.num_nodes))
             else:
-                parts = self._embedding_parts(rows, clock)
-                snapshot = self.store.publish_parts(parts)
-                if len(parts) > 1:
-                    self.metrics.counter("shard.publish.parts").inc(len(parts))
-        if self._decay_serving:
-            # The clock advance moved every decayed embedding, so every
-            # cached answer is potentially stale — same invalidation the
-            # old full republish implied, without the matrix rewrite.
-            touched = set(range(self.dataset.num_nodes))
-        else:
-            touched = set(int(r) for r in rows)
-        with self.tracer.span("serve.index.invalidate"):
-            self.index.invalidate(snapshot, touched, touched)
+                touched = set(int(r) for r in rows)
+            with self.tracer.span("serve.index.invalidate"):
+                self.index.invalidate(snapshot, touched, touched)
         return snapshot
 
     def _publish_components(self, rows: np.ndarray, clock: float):
@@ -706,20 +733,42 @@ class RecommendationService:
     def _journal_decision(
         self, kind: str, edge: Optional[StreamEdge], count: int
     ) -> None:
-        """EventQueue journal hook → WAL append (write-ahead of state)."""
+        """EventQueue journal hook → WAL append (write-ahead of state),
+        then per-event stage stamping (queue-wait attribution)."""
         wal = self.wal
-        if wal is None:
+        if wal is not None:
+            with self._state_lock:
+                suspended = self._resilience_suspended
+            if not suspended:
+                # A WAL failure raises here, aborting the decision — the
+                # stamp below is only recorded for decisions that stick.
+                if kind == "accept":
+                    wal.append_accept(edge)
+                elif kind == "evict":
+                    wal.append_evict(edge)
+                else:
+                    wal.append_batch(count)
+        clock = self._stage_clock
+        if clock is None:
             return
-        with self._state_lock:
-            suspended = self._resilience_suspended
-        if suspended:
-            return
+        # Runs under the queue's lock (journal-hook contract), which is
+        # exactly what keeps the stamp deque aligned with the buffer.
         if kind == "accept":
-            wal.append_accept(edge)
+            self._accept_times.append(clock())
         elif kind == "evict":
-            wal.append_evict(edge)
-        else:
-            wal.append_batch(count)
+            if self._accept_times:
+                self._accept_times.popleft()
+        else:  # batch cut: dispatch begins now
+            if len(self._accept_times) >= count:
+                now = clock()
+                waits = self.metrics.histogram("latency.queue_wait_seconds")
+                for _ in range(count):
+                    waits.observe(now - self._accept_times.popleft())
+            else:
+                # Recovery preload() buffers events without journaling
+                # their acceptance; drop the partial stamps rather than
+                # misattribute waits across the restart.
+                self._accept_times.clear()
 
     def _maybe_checkpoint(self) -> None:
         every = self.config.checkpoint_every

@@ -1,0 +1,164 @@
+"""repro.obs.quality: prequential parity, cohorts, drift norms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import hit_rate, mrr
+from repro.obs.quality import DEFAULT_COHORTS, StreamingQualityEvaluator
+from repro.serve.service import RecommendationService, ServeConfig
+
+
+def make_service(dataset, batch_size=16):
+    return RecommendationService(
+        dataset, config=ServeConfig(batch_size=batch_size, capacity=256)
+    )
+
+
+def replay(dataset, evaluator, service, n):
+    for edge in list(dataset.stream)[:n]:
+        evaluator.observe_event(edge)  # score before the model learns it
+        service.ingest(edge)
+        evaluator.observe_publish()
+    service.flush()
+    evaluator.observe_publish()
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self, tiny_synthetic):
+        service = make_service(tiny_synthetic)
+        with pytest.raises(ValueError, match="k must be"):
+            StreamingQualityEvaluator(service, k=0)
+        with pytest.raises(ValueError, match="window"):
+            StreamingQualityEvaluator(service, window=0)
+        with pytest.raises(ValueError, match="start at age 0"):
+            StreamingQualityEvaluator(service, cohorts=((1, "warm"),))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            StreamingQualityEvaluator(
+                service, cohorts=((0, "a"), (5, "b"), (5, "c"))
+            )
+        service.close()
+
+
+class TestOfflineParity:
+    """Satellite 5: the streaming gauges equal the offline evaluator's
+    metrics over the same replayed per-event ranks."""
+
+    def test_summary_matches_offline_metrics(self, tiny_synthetic):
+        service = make_service(tiny_synthetic)
+        evaluator = StreamingQualityEvaluator(service, k=10, track_drift=False)
+        replay(tiny_synthetic, evaluator, service, n=200)
+        ranks = np.asarray(evaluator.ranks(), dtype=np.float64)
+        assert ranks.size == 200
+        summary = evaluator.summary()
+        assert summary["hit_rate"] == pytest.approx(hit_rate(ranks, k=10))
+        assert summary["mrr"] == pytest.approx(mrr(ranks))
+        assert 0.0 < summary["hit_rate"] <= 1.0  # learned something
+        service.close()
+
+    def test_gauges_match_summary(self, tiny_synthetic):
+        service = make_service(tiny_synthetic)
+        evaluator = StreamingQualityEvaluator(service, k=10, track_drift=False)
+        replay(tiny_synthetic, evaluator, service, n=120)
+        summary = evaluator.summary()
+        reg = service.metrics
+        assert reg.gauge("quality.hit_rate").value == pytest.approx(
+            summary["hit_rate"]
+        )
+        assert reg.gauge("quality.mrr").value == pytest.approx(summary["mrr"])
+        assert reg.counter("quality.evaluated").value == 120
+        service.close()
+
+    def test_window_gauges_cover_recent_events_only(self, tiny_synthetic):
+        service = make_service(tiny_synthetic)
+        evaluator = StreamingQualityEvaluator(
+            service, k=10, window=32, track_drift=False
+        )
+        replay(tiny_synthetic, evaluator, service, n=100)
+        records = evaluator.records[-32:]
+        expected = sum(r.hit for r in records) / 32
+        assert service.metrics.gauge(
+            "quality.window_hit_rate"
+        ).value == pytest.approx(expected)
+        service.close()
+
+
+class TestCohorts:
+    def test_cold_items_bucketed_separately(self, tiny_synthetic):
+        service = make_service(tiny_synthetic)
+        evaluator = StreamingQualityEvaluator(service, k=10, track_drift=False)
+        replay(tiny_synthetic, evaluator, service, n=200)
+        summary = evaluator.summary()
+        cohorts = summary["cohorts"]
+        assert set(cohorts) == {label for _, label in DEFAULT_COHORTS}
+        # every evaluation landed in exactly one cohort
+        assert sum(c["evaluated"] for c in cohorts.values()) == 200
+        # a first-ever item is by definition cold, and some must exist
+        assert cohorts["cold"]["evaluated"] > 0
+        service.close()
+
+    def test_item_age_drives_the_cohort(self, tiny_synthetic):
+        service = make_service(tiny_synthetic)
+        evaluator = StreamingQualityEvaluator(service, k=10, track_drift=False)
+        replay(tiny_synthetic, evaluator, service, n=200)
+        for record in evaluator.records:
+            if record.item_age == 0:
+                assert record.cohort == "cold"
+            elif record.item_age < 8:
+                assert record.cohort == "warming"
+            else:
+                assert record.cohort == "established"
+        service.close()
+
+    def test_record_round_trip(self, tiny_synthetic):
+        service = make_service(tiny_synthetic)
+        evaluator = StreamingQualityEvaluator(service, k=10, track_drift=False)
+        replay(tiny_synthetic, evaluator, service, n=40)
+        d = evaluator.records[0].as_dict()
+        assert d["rank"] == "miss" or isinstance(d["rank"], float)
+        assert d["cohort"] in {label for _, label in DEFAULT_COHORTS}
+        service.close()
+
+
+class TestDrift:
+    def test_drift_matches_manual_matrix_diff(self, tiny_synthetic):
+        service = make_service(tiny_synthetic, batch_size=16)
+        evaluator = StreamingQualityEvaluator(service, k=10)
+        before = np.array(
+            service.store.snapshot().matrix(), dtype=np.float64, copy=True
+        )
+        edges = list(tiny_synthetic.stream)[:16]
+        for edge in edges:
+            service.ingest(edge)
+        service.flush()
+        summary = evaluator.observe_publish()
+        assert summary is not None
+        touched = np.asarray(service.model.last_touched_nodes, dtype=np.int64)
+        after = np.asarray(service.store.snapshot().matrix(), dtype=np.float64)
+        manual = np.linalg.norm(after[touched] - before[touched], axis=1)
+        assert summary["rows"] == touched.size
+        assert summary["mean"] == pytest.approx(float(manual.mean()))
+        assert summary["max"] == pytest.approx(float(manual.max()))
+        reg = service.metrics
+        assert reg.histogram("quality.drift_row_norm").count == touched.size
+        assert reg.gauge("quality.drift.last_max").value == pytest.approx(
+            summary["max"]
+        )
+        service.close()
+
+    def test_no_publish_no_drift_record(self, tiny_synthetic):
+        service = make_service(tiny_synthetic)
+        evaluator = StreamingQualityEvaluator(service, k=10)
+        assert evaluator.observe_publish() is None  # version unchanged
+        assert service.metrics.counter("quality.publishes").value == 0
+        service.close()
+
+    def test_track_drift_off_is_free(self, tiny_synthetic):
+        service = make_service(tiny_synthetic)
+        evaluator = StreamingQualityEvaluator(service, track_drift=False)
+        for edge in list(tiny_synthetic.stream)[:16]:
+            service.ingest(edge)
+        service.flush()
+        assert evaluator.observe_publish() is None
+        service.close()

@@ -382,3 +382,108 @@ class TestReplicate:
         payload = json.loads(out_path.read_text())
         assert payload["passed"] is True
         assert payload["mismatches"] == []
+
+
+class TestObsWatch:
+    def test_watch_parser_defaults(self):
+        args = build_parser().parse_args(["obs", "--dataset", "uci"])
+        assert args.watch is False
+        assert args.watch_interval == 0.5
+        assert "ingest.accepted" in args.watch_metrics
+
+    def test_watch_prints_delta_rows(self, capsys):
+        code = main(
+            [
+                "obs",
+                "--dataset",
+                "uci",
+                "--scale",
+                "0.05",
+                "--batch-size",
+                "64",
+                "--watch",
+                "--watch-interval",
+                "0.05",
+                "--watch-metrics",
+                "ingest.accepted",
+                "updates.applied",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "watching ingest.accepted, updates.applied" in out
+        # the final poll row always lands, even on a sub-interval replay
+        assert "ingest.accepted=" in out and "updates.applied=" in out
+        # the usual telemetry story still follows the watch stream
+        assert "span tree" in out
+
+
+class TestLoadtest:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["loadtest", "--dataset", "uci"])
+        assert args.tiers == [0.02, 0.5, 2.0]
+        assert args.arrival == "poisson"
+        assert args.events == 400
+        assert args.output.endswith("loadtest.json")
+        assert args.quality is False
+
+    def test_unknown_arrival_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadtest", "--dataset", "uci", "--arrival", "steady"])
+
+    def test_sweep_writes_tiered_report(self, tmp_path, capsys):
+        out = tmp_path / "loadtest.json"
+        code = main(
+            [
+                "loadtest",
+                "--dataset",
+                "uci",
+                "--scale",
+                "0.05",
+                "--events",
+                "120",
+                "--tiers",
+                "0.1",
+                "0.5",
+                "2.0",
+                "--output",
+                str(out),
+                "--no-gate",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "loadtest: uci" in captured
+        assert "qwait p99 ms" in captured
+        payload = json.loads(out.read_text())
+        assert payload["capacity_events_per_second"] > 0
+        assert len(payload["tiers"]) == 3
+        for tier in payload["tiers"]:
+            assert tier["requests"] == 120
+            for section in ("e2e", "queue_wait", "service"):
+                assert {"p50", "p99", "p99.9"} <= set(tier[section])
+            assert {"batch_wait_p99", "train_p99", "publish_p99"} <= set(
+                tier["stages"]
+            )
+            assert tier["hdr_p999_bucket_error"] <= 1
+
+    def test_gate_fails_without_sub_saturation_tier(self, capsys):
+        code = main(
+            [
+                "loadtest",
+                "--dataset",
+                "uci",
+                "--scale",
+                "0.05",
+                "--events",
+                "60",
+                "--tiers",
+                "1.5",
+                "2.0",
+                "2.5",
+                "--output",
+                "",
+            ]
+        )
+        assert code == 1
+        assert "FAIL: sweep has no sub-saturation tier" in capsys.readouterr().out
