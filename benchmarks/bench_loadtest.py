@@ -16,6 +16,14 @@ lowest sub-saturation tier keeps queue-wait p99 below service-time
 p99, and every tier's HDR p999 sits within one bucket of the exact
 quantile of its replayed samples.  The sweep is persisted to
 ``benchmarks/results/loadtest.json``.
+
+A second sweep (``test_overload``) turns on async dispatch + admission
+control and drives a 2x-capacity tier past saturation, gated on the
+overload contract (:func:`repro.obs.loadgen.overload_gate_failures`):
+the producer-visible ``ingest()`` p99 stays within 10x the
+sub-saturation reference (flat admission cost — the producer pays the
+journaled accept decision, not the training backlog) and the
+past-saturation tier measurably sheds load.
 """
 
 from __future__ import annotations
@@ -29,9 +37,17 @@ from harness import BENCH_SCALE, RESULTS_DIR, emit
 from repro.core import SUPAConfig
 from repro.core.model import SUPA
 from repro.datasets import load_dataset
-from repro.obs.loadgen import run_offered_load_sweep, sweep_gate_failures
+from repro.obs.loadgen import (
+    overload_gate_failures,
+    run_offered_load_sweep,
+    sweep_gate_failures,
+)
 from repro.obs.quality import StreamingQualityEvaluator
-from repro.serve import RecommendationService, ServeConfig
+from repro.serve import (
+    AdmissionConfig,
+    RecommendationService,
+    ServeConfig,
+)
 from repro.utils.tables import format_table
 
 DATASET = "uci"
@@ -46,7 +62,13 @@ EVENTS = 400
 #: gate's "queueing must not dominate below saturation" check loses its
 #: margin) once f nears 0.01 / (1 - p99 target).
 TIERS = [0.02, 0.5, 2.0]
+#: the overload sweep needs only a reference tier and a past-saturation
+#: tier; a small capacity makes the depth watermarks reachable within
+#: EVENTS arrivals so shedding actually engages.
+OVERLOAD_TIERS = [0.25, 2.0]
+OVERLOAD_CAPACITY = 256
 JSON_PATH = os.path.join(RESULTS_DIR, "loadtest.json")
+OVERLOAD_JSON_PATH = os.path.join(RESULTS_DIR, "loadtest_overload.json")
 
 
 def _make_service(dataset) -> RecommendationService:
@@ -62,6 +84,30 @@ def _make_service(dataset) -> RecommendationService:
             capacity=4096,
             overflow="drop_new",
             clock_fn=time.perf_counter,
+        ),
+    )
+
+
+def _make_overload_service(dataset) -> RecommendationService:
+    model = SUPA.for_dataset(
+        dataset,
+        config=SUPAConfig(dim=DIM, num_walks=2, walk_length=2, seed=0),
+    )
+    return RecommendationService(
+        dataset,
+        model=model,
+        config=ServeConfig(
+            batch_size=BATCH_SIZE,
+            capacity=OVERLOAD_CAPACITY,
+            overflow="drop_new",
+            clock_fn=time.perf_counter,
+            async_dispatch=True,
+            admission=AdmissionConfig(
+                shed_policy="reject",
+                depth_highwater=0.2,
+                depth_lowwater=0.1,
+                seed=0,
+            ),
         ),
     )
 
@@ -130,3 +176,63 @@ def test_loadtest(benchmark):
     benchmark.extra_info["capacity_events_per_second"] = sweep[
         "capacity_events_per_second"
     ]
+
+
+def run_overload() -> Dict[str, object]:
+    dataset = load_dataset(DATASET, scale=min(BENCH_SCALE, 0.1), seed=0)
+    edges = list(dataset.stream)[:EVENTS]
+    sweep = run_offered_load_sweep(
+        lambda: _make_overload_service(dataset),
+        edges,
+        fractions=OVERLOAD_TIERS,
+        kind="poisson",
+        seed=0,
+        k=K,
+    )
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(OVERLOAD_JSON_PATH, "w", encoding="utf-8") as fh:
+        json.dump(sweep, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return sweep
+
+
+def test_overload(benchmark):
+    sweep = benchmark.pedantic(run_overload, rounds=1, iterations=1)
+    rows: List[List[object]] = [
+        [
+            f"{tier['fraction_of_capacity']:g}x",
+            tier["offered_rate"],
+            tier["achieved_rate"],
+            tier["e2e"]["p99"] * 1e3,
+            tier["ingest_latency"]["p50"] * 1e3,
+            tier["ingest_latency"]["p99"] * 1e3,
+            tier["ingest"]["shed"],
+            tier["admission"]["escalations"],
+        ]
+        for tier in sweep["tiers"]
+    ]
+    text = format_table(
+        [
+            "tier",
+            "offered/s",
+            "achieved/s",
+            "e2e p99 ms",
+            "ingest p50 ms",
+            "ingest p99 ms",
+            "shed",
+            "escalations",
+        ],
+        rows,
+        title=(
+            f"Overload sweep ({DATASET}, async dispatch + admission, "
+            f"capacity {sweep['capacity_events_per_second']:.0f} events/s)"
+        ),
+        precision=3,
+    )
+    emit("loadtest_overload", text)
+
+    failures = overload_gate_failures(sweep)
+    assert not failures, "; ".join(failures)
+    over = [t for t in sweep["tiers"] if t["fraction_of_capacity"] > 1.0]
+    assert all(t["ingest"]["shed"] > 0 for t in over)
+    assert os.path.exists(OVERLOAD_JSON_PATH)

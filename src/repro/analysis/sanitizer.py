@@ -272,6 +272,8 @@ def default_audits() -> List[Audit]:
     from repro.replicate.follower import ReplicationFollower
     from repro.resilience.checkpoint import CheckpointManager
     from repro.resilience.wal import WalTailer, WriteAheadLog
+    from repro.serve.admission import AdmissionController
+    from repro.serve.dispatch import DispatchWorker
     from repro.serve.index import TopKIndex
     from repro.serve.ingest import EventQueue
     from repro.serve.service import RecommendationService
@@ -291,8 +293,21 @@ def default_audits() -> List[Audit]:
             {
                 "_buffer", "_paused", "deadletters", "reason_counts",
                 "max_timestamp", "accepted", "rejected", "dropped",
-                "batches_dispatched",
+                "shed", "batches_dispatched",
             },
+        ),
+        audit(
+            AdmissionController,
+            "_lock",
+            {
+                "_buckets", "_state", "_offered", "admitted", "throttled",
+                "shed", "escalations", "de_escalations",
+            },
+        ),
+        audit(
+            DispatchWorker,
+            "_lock",
+            {"_thread", "_closing", "batches", "events", "errors"},
         ),
         audit(
             VersionedEmbeddingStore,

@@ -427,13 +427,33 @@ def cmd_obs(args: argparse.Namespace) -> int:
 
 
 def cmd_loadtest(args: argparse.Namespace) -> int:
-    """Open-loop offered-load sweep with the SLO gate (see ISSUE/DESIGN §15)."""
+    """Open-loop offered-load sweep with the SLO gate (see ISSUE/DESIGN §15).
+
+    With ``--async-dispatch`` / ``--admission`` the sweep exercises the
+    overload path (DESIGN §16): ``ingest()`` returns after the journaled
+    accept decision and a dispatcher thread runs the updates, while the
+    admission controller throttles and sheds past the watermarks.  Add
+    ``--state-dir`` to journal each tier into its own WAL and run the
+    per-tier audit: every shed/throttle decision in the WAL ledger must
+    reconcile with the controller's and queue's tallies, and a full
+    replay of the WAL from a fresh model must reproduce the drained
+    service bitwise (state fingerprint, RNG streams, served top-K) —
+    the async-equals-inline parity gate.  ``--overload-gate`` swaps the
+    SLO gate for the overload contract (flat ingest p99, shedding
+    measured, audit findings fatal).
+    """
+    import itertools
     import json
     import time
 
     from repro.core.model import SUPA
-    from repro.obs.loadgen import run_offered_load_sweep, sweep_gate_failures
+    from repro.obs.loadgen import (
+        overload_gate_failures,
+        run_offered_load_sweep,
+        sweep_gate_failures,
+    )
     from repro.obs.quality import StreamingQualityEvaluator
+    from repro.serve.admission import AdmissionConfig
     from repro.serve.service import RecommendationService, ServeConfig
 
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
@@ -441,13 +461,34 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     if args.events:
         edges = edges[: args.events]
 
-    def service_factory() -> RecommendationService:
-        model = SUPA.for_dataset(
-            dataset,
-            config=SUPAConfig(
-                dim=args.dim, num_walks=2, walk_length=2, seed=args.seed
-            ),
+    model_config = SUPAConfig(
+        dim=args.dim, num_walks=2, walk_length=2, seed=args.seed
+    )
+    admission_config = None
+    if args.admission:
+        admission_config = AdmissionConfig(
+            rate_per_user=args.rate_per_user,
+            burst=args.burst,
+            shed_policy=args.shed_policy,
+            depth_highwater=args.depth_highwater,
+            depth_lowwater=args.depth_lowwater,
+            sample_keep=args.sample_keep,
+            seed=args.seed,
         )
+    # Every service the sweep builds (the calibration throwaway, then
+    # one per tier) gets its own WAL directory so tiers never share a
+    # journal and the audit replays exactly one tier's decisions.
+    tier_ordinal = itertools.count()
+
+    def service_factory() -> RecommendationService:
+        model = SUPA.for_dataset(dataset, config=model_config)
+        wal_path = None
+        if args.state_dir:
+            tier_dir = os.path.join(
+                args.state_dir, f"tier-{next(tier_ordinal):03d}"
+            )
+            os.makedirs(tier_dir, exist_ok=True)
+            wal_path = os.path.join(tier_dir, "events.wal")
         return RecommendationService(
             dataset,
             model=model,
@@ -456,8 +497,97 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                 capacity=args.capacity,
                 overflow="drop_new",
                 clock_fn=time.perf_counter,
+                wal_path=wal_path,
+                async_dispatch=args.async_dispatch,
+                admission=admission_config,
             ),
         )
+
+    def tier_audit(service: RecommendationService, tier: dict) -> None:
+        """Ledger reconciliation + replay parity for one drained tier."""
+        from repro.replicate.failover import state_fingerprint
+        from repro.resilience.recovery import recover
+        from repro.resilience.wal import decision_ledger
+
+        failures: list = []
+        tier["audit"] = {"failures": failures}
+        # Quiesce first: stop + drain the dispatcher, flush the partial
+        # batch (both idempotent — service.close() repeats them later).
+        if service.dispatcher is not None:
+            service.dispatcher.close()
+        service.flush()
+        wal_path = service.config.wal_path
+        if wal_path is None:
+            return
+        ledger = decision_ledger(wal_path)
+        tier["audit"]["ledger"] = ledger
+        admission = service.admission
+        if admission is not None:
+            counts = admission.counts()
+            throttled = sum(ledger["throttle"].values())
+            shed = sum(ledger["shed"].values()) + sum(ledger["evict"].values())
+            if throttled != counts["throttled"]:
+                failures.append(
+                    f"ledger has {throttled} throttle records but the "
+                    f"controller throttled {counts['throttled']}"
+                )
+            if shed != counts["shed"]:
+                failures.append(
+                    f"ledger has {shed} shed/evict records but the "
+                    f"controller shed {counts['shed']}"
+                )
+            expected_queue_shed = counts["throttled"] + counts["shed"]
+            if service.queue.shed != expected_queue_shed:
+                failures.append(
+                    f"queue counted {service.queue.shed} shed deadletters "
+                    f"but the controller denied {expected_queue_shed}"
+                )
+        # Replay parity: recover() over the tier's WAL with no
+        # checkpoint replays every journaled accept/evict/batch from a
+        # fresh model — i.e. the inline golden run over the same
+        # accepted-event sequence.  The drained async service must match
+        # it bitwise: state fingerprint, both RNG streams, served top-K.
+        recover_dir = os.path.join(os.path.dirname(wal_path), "recover-ckpt")
+        os.makedirs(recover_dir, exist_ok=True)
+        recovered = recover(
+            dataset,
+            ServeConfig(
+                batch_size=args.batch_size,
+                capacity=args.capacity,
+                overflow="drop_new",
+                wal_path=wal_path,
+                checkpoint_dir=recover_dir,
+            ),
+            model_config=model_config,
+        )
+        twin = recovered.service
+        try:
+            live_fp = state_fingerprint(service)
+            replay_fp = state_fingerprint(twin)
+            tier["audit"]["state_fingerprint"] = live_fp
+            if live_fp != replay_fp:
+                failures.append(
+                    f"replay parity: drained state fingerprint {live_fp[:12]} "
+                    f"!= inline-replay fingerprint {replay_fp[:12]}"
+                )
+            if (
+                service.model.rng.bit_generator.state
+                != twin.model.rng.bit_generator.state
+            ):
+                failures.append("replay parity: model RNG streams diverged")
+            if service.trainer.rng_state() != twin.trainer.rng_state():
+                failures.append("replay parity: trainer RNG streams diverged")
+            for user in service.users[: min(4, len(service.users))]:
+                served = list(service.recommend(int(user), k=args.k))
+                replayed = list(twin.recommend(int(user), k=args.k))
+                if served != replayed:
+                    failures.append(
+                        f"replay parity: top-{args.k} for user {user} "
+                        "differs between drained and replayed service"
+                    )
+                    break
+        finally:
+            twin.close()
 
     quality_factory = None
     if args.quality:
@@ -473,6 +603,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         k=args.k,
         query_every=args.query_every,
         quality_factory=quality_factory,
+        tier_audit=tier_audit if args.state_dir else None,
     )
     rows = [
         [
@@ -484,6 +615,8 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             f"{tier['e2e']['p99.9'] * 1e3:.2f}",
             f"{tier['queue_wait']['p99'] * 1e3:.2f}",
             f"{tier['service']['p99'] * 1e3:.2f}",
+            f"{tier['ingest_latency']['p99'] * 1e3:.3f}",
+            str(tier["ingest"]["shed"]),
             str(tier["hdr_p999_bucket_error"]),
         ]
         for tier in sweep["tiers"]
@@ -499,6 +632,8 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                 "e2e p999 ms",
                 "qwait p99 ms",
                 "service p99 ms",
+                "ingest p99 ms",
+                "shed",
                 "p999 Δbuckets",
             ],
             rows,
@@ -517,7 +652,10 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}")
     if args.no_gate:
         return 0
-    failures = sweep_gate_failures(sweep)
+    if args.overload_gate:
+        failures = overload_gate_failures(sweep)
+    else:
+        failures = sweep_gate_failures(sweep)
     for failure in failures:
         print(f"FAIL: {failure}")
     return 1 if failures else 0
@@ -1144,6 +1282,70 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the streaming hold-out quality evaluator per tier "
         "(queries every request)",
+    )
+    p.add_argument(
+        "--async-dispatch",
+        action="store_true",
+        help="drain micro-batches on the dispatcher thread so ingest() "
+        "returns after the journaled accept decision (DESIGN §16)",
+    )
+    p.add_argument(
+        "--admission",
+        action="store_true",
+        help="put the admission controller in front of the queue "
+        "(token-bucket throttling + watermark-driven shedding)",
+    )
+    p.add_argument(
+        "--shed-policy",
+        default="reject",
+        choices=["reject", "drop_head", "degrade_to_sample"],
+        help="what SHEDDING does to new arrivals (with --admission)",
+    )
+    p.add_argument(
+        "--rate-per-user",
+        type=float,
+        default=0.0,
+        help="token-bucket refill per user per second; 0 disables "
+        "per-user throttling (with --admission)",
+    )
+    p.add_argument(
+        "--burst",
+        type=float,
+        default=10.0,
+        help="token-bucket burst capacity per user (with --admission)",
+    )
+    p.add_argument(
+        "--depth-highwater",
+        type=float,
+        default=0.9,
+        help="queue-depth fraction that escalates to SHEDDING",
+    )
+    p.add_argument(
+        "--depth-lowwater",
+        type=float,
+        default=0.5,
+        help="queue-depth fraction SHEDDING must fall below to clear "
+        "(hysteresis)",
+    )
+    p.add_argument(
+        "--sample-keep",
+        type=float,
+        default=0.5,
+        help="fraction kept under the degrade_to_sample policy",
+    )
+    p.add_argument(
+        "--state-dir",
+        default="",
+        help="journal each tier into <dir>/tier-NNN/events.wal and run "
+        "the per-tier audit: decision-ledger reconciliation plus the "
+        "drained-async == inline-replay parity check ('' to skip)",
+    )
+    p.add_argument(
+        "--overload-gate",
+        action="store_true",
+        help="gate on the overload contract instead of the SLO gate: "
+        "ingest p99 flat vs the sub-saturation reference, shedding "
+        "measured past saturation, audit findings fatal",
     )
     p.add_argument(
         "--output",

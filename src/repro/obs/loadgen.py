@@ -160,6 +160,9 @@ class RequestEnvelope:
     admitted_at: float
     dispatched_at: float = float("nan")
     completed_at: float = float("nan")
+    #: the ``ingest()`` call alone (excludes the optional query) — the
+    #: producer-visible cost the async-dispatch contract keeps flat
+    ingest_seconds: float = float("nan")
     queried: bool = False
     accepted: bool = False
     error: Optional[str] = None
@@ -209,11 +212,14 @@ class LoadReport:
     e2e: Dict[str, float]
     queue_wait: Dict[str, float]
     service: Dict[str, float]
+    #: the ``ingest()`` call alone — what a producer pays per event
+    ingest_latency: Dict[str, float]
     #: exact per-request end-to-end latencies (the replayed fixture the
     #: HDR bucket-accuracy gate checks against).
     e2e_samples: np.ndarray = field(repr=False)
     queue_wait_samples: np.ndarray = field(repr=False)
     service_samples: np.ndarray = field(repr=False)
+    ingest_samples: np.ndarray = field(repr=False)
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready summary (samples summarised, not embedded)."""
@@ -230,6 +236,7 @@ class LoadReport:
             "e2e": dict(self.e2e),
             "queue_wait": dict(self.queue_wait),
             "service": dict(self.service),
+            "ingest_latency": dict(self.ingest_latency),
         }
 
 
@@ -297,7 +304,11 @@ class OpenLoopLoadGenerator:
         elif env.index % self.query_every == 0:
             self.service.recommend(int(env.edge.u), self.k)
             env.queried = True
-        env.accepted = bool(self.service.ingest(env.edge))
+        before = self._clock()
+        try:
+            env.accepted = bool(self.service.ingest(env.edge))
+        finally:
+            env.ingest_seconds = self._clock() - before
         if self.quality is not None:
             self.quality.observe_publish()
 
@@ -358,6 +369,12 @@ class OpenLoopLoadGenerator:
         service = np.asarray(
             [e.service_seconds for e in envelopes], dtype=np.float64
         )
+        # a request that errored before its ingest stamp carries NaN;
+        # the ingest distribution is over the calls that happened
+        ingest = np.asarray(
+            [e.ingest_seconds for e in envelopes], dtype=np.float64
+        )
+        ingest = ingest[np.isfinite(ingest)]
         duration = end - start
         return LoadReport(
             process=self.process,
@@ -371,9 +388,11 @@ class OpenLoopLoadGenerator:
             e2e=_stats(e2e),
             queue_wait=_stats(waits),
             service=_stats(service),
+            ingest_latency=_stats(ingest),
             e2e_samples=e2e,
             queue_wait_samples=waits,
             service_samples=service,
+            ingest_samples=ingest,
         )
 
 
@@ -427,6 +446,7 @@ def run_offered_load_sweep(
     clock_fn: Optional[Callable[[], float]] = None,
     sleep_fn: Optional[Callable[[float], None]] = None,
     quality_factory: Optional[Callable[..., object]] = None,
+    tier_audit: Optional[Callable[..., None]] = None,
 ) -> Dict[str, object]:
     """Offered-load sweep: one open-loop tier per capacity fraction.
 
@@ -434,10 +454,19 @@ def run_offered_load_sweep(
     instance, then runs each tier at ``fraction * capacity`` offered
     events/second against a *fresh* service (tiers never share model
     state).  Each tier reports exact p50/p99/p999 end-to-end latency
-    split into queue wait vs service time, the service-internal stage
-    percentiles (batch-buffer wait, train, publish), the HDR-vs-exact
-    p999 bucket error, and — when ``quality_factory`` builds an
-    evaluator per service — the online quality summary.
+    split into queue wait vs service time, the producer-visible
+    ``ingest()`` latency on its own, the ingest/admission ledger
+    (accepted/rejected/dropped/shed, controller tallies), the
+    service-internal stage percentiles (batch-buffer wait, train,
+    publish), the HDR-vs-exact p999 bucket error, and — when
+    ``quality_factory`` builds an evaluator per service — the online
+    quality summary.
+
+    ``tier_audit(service, tier)`` runs after each tier's run, while its
+    service is still open: the hook for reconciliation and replay-parity
+    checks (append findings to ``tier["audit"]`` —
+    :func:`overload_gate_failures` folds ``tier["audit"]["failures"]``
+    into the gate).
     """
     if not fractions:
         raise ValueError("sweep needs at least one offered-rate fraction")
@@ -485,8 +514,22 @@ def run_offered_load_sweep(
                     "stage.publish_seconds"
                 ).percentile(99.0),
             }
+            queue = service.queue
+            tier["ingest"] = {
+                "accepted": queue.accepted,
+                "rejected": queue.rejected,
+                "dropped": queue.dropped,
+                "shed": queue.shed,
+                "by_reason": queue.deadletters_by_reason(),
+            }
+            admission = service.admission
+            if admission is not None:
+                tier["admission"] = dict(admission.counts())
+                tier["admission"]["state"] = admission.state
             if quality is not None:
                 tier["quality"] = quality.summary()
+            if tier_audit is not None:
+                tier_audit(service, tier)
             tiers.append(tier)
         finally:
             service.close()
@@ -534,4 +577,70 @@ def sweep_gate_failures(
                 f"is {tier['hdr_p999_bucket_error']} buckets from the exact "
                 f"quantile (allowed {max_bucket_error})"
             )
+    return failures
+
+
+def overload_gate_failures(
+    sweep: Dict[str, object],
+    p99_ratio_max: float = 10.0,
+    require_shedding: bool = True,
+    ingest_p99_floor: float = 1e-6,
+) -> List[str]:
+    """The overload gate: failure strings (empty = pass).
+
+    Checks the async-dispatch/admission acceptance contract over a
+    sweep that drove past saturation:
+
+    * a past-saturation tier (fraction > 1.0) and a sub-saturation
+      reference tier both exist;
+    * at every past-saturation tier the producer-visible ``ingest()``
+      p99 stays below ``p99_ratio_max`` × the reference tier's — flat
+      admission cost: the producer pays the accept/journal decision, not
+      the training backlog (the reference p99 is floored at
+      ``ingest_p99_floor`` seconds so a sub-microsecond baseline does
+      not turn clock noise into a failure);
+    * with ``require_shedding``, every past-saturation tier actually
+      shed load (``ingest.shed > 0``) — shedding is measured, not
+      assumed;
+    * any failures a ``tier_audit`` hook recorded (ledger
+      reconciliation mismatches, replay-parity breaks) fail the gate
+      verbatim.
+    """
+    failures: List[str] = []
+    tiers = sweep.get("tiers", [])
+    over = [t for t in tiers if t["fraction_of_capacity"] > 1.0]
+    sub = [t for t in tiers if t["fraction_of_capacity"] < 1.0]
+    if not over:
+        failures.append("sweep has no past-saturation tier (fraction > 1.0)")
+    if not sub:
+        failures.append("sweep has no sub-saturation tier (fraction < 1.0)")
+    reference = (
+        min(sub, key=lambda t: t["fraction_of_capacity"]) if sub else None
+    )
+    for tier in over:
+        fraction = tier["fraction_of_capacity"]
+        if reference is not None:
+            ref_p99 = max(
+                reference["ingest_latency"]["p99"], ingest_p99_floor
+            )
+            p99 = tier["ingest_latency"]["p99"]
+            if p99 >= p99_ratio_max * ref_p99:
+                failures.append(
+                    f"tier at fraction {fraction}: ingest p99 {p99:.6f}s is "
+                    f">= {p99_ratio_max:g}x the sub-saturation reference "
+                    f"({ref_p99:.6f}s) — admission cost is not flat"
+                )
+        if require_shedding and tier.get("ingest", {}).get("shed", 0) <= 0:
+            failures.append(
+                f"tier at fraction {fraction}: shed nothing past "
+                "saturation — admission control never engaged"
+            )
+    for tier in tiers:
+        audit = tier.get("audit")
+        if isinstance(audit, dict):
+            for finding in audit.get("failures", []):
+                failures.append(
+                    f"tier at fraction {tier['fraction_of_capacity']}: "
+                    f"{finding}"
+                )
     return failures

@@ -255,6 +255,12 @@ class ReplicationFollower:
                 self._last_hb_seen_at = now
                 self._last_seq_applied = record.seq
             return
+        if record.kind in ("shed", "throttle"):
+            # Admission-ledger records: the primary denied the event, so
+            # there is nothing to replay — advance the position only.
+            with self._lock:
+                self._last_seq_applied = record.seq
+            return
         if record.kind == "accept":
             with self._lock:
                 self._fifo.append(record.edge)

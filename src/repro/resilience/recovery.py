@@ -10,8 +10,10 @@ its last journaled decision — the same golden-parity discipline as
    change.  Replaying it reconstructs the exact FIFO evolution of the
    queue — in particular the exact micro-batch boundaries the trainer
    saw, independent of when pauses or flushes happened to trigger
-   dispatch.  (``heartbeat`` records are liveness metadata for the
-   replication layer and fold to a no-op.)
+   dispatch.  (Ledger-only kinds — ``heartbeat`` liveness stamps and
+   the ``shed``/``throttle`` admission decisions — fold to a no-op:
+   they audit what was *denied*, which by construction never touched
+   queue or model state.)
 2. Rebuilding the graph consumes no randomness: ``SUPA.observe`` only
    inserts edges and ticks the (degree-derived, RNG-free) negative
    sampler's refresh schedule.  Observing the trained prefix therefore
@@ -45,7 +47,12 @@ from repro.core.model import SUPA
 from repro.datasets.base import Dataset
 from repro.graph.streams import EdgeStream, StreamEdge
 from repro.resilience.checkpoint import CheckpointManager
-from repro.resilience.wal import WalRecord, iter_records, scan
+from repro.resilience.wal import (
+    LEDGER_ONLY_KINDS,
+    WalRecord,
+    iter_records,
+    scan,
+)
 from repro.serve.service import RecommendationService, ServeConfig
 from repro.utils.timer import Timer
 
@@ -101,7 +108,7 @@ def fold_queue_log(
     for record in records:
         if upto_seq is not None and record.seq > upto_seq:
             break
-        if record.kind == "heartbeat":
+        if record.kind in LEDGER_ONLY_KINDS:
             continue
         if record.kind == "accept":
             state.fifo.append(record.edge)
@@ -211,7 +218,7 @@ def recover(
         for record in iter_records(
             serve_config.wal_path, from_seq=base_seq + 1
         ):
-            if record.kind == "heartbeat":
+            if record.kind in LEDGER_ONLY_KINDS:
                 continue
             if record.kind == "accept":
                 fifo.append(record.edge)

@@ -16,6 +16,19 @@ followers tailing the log can both measure staleness and detect primary
 silence.  Heartbeats are liveness metadata — they carry no queue
 decision and every replayer skips them.
 
+Admission control (:mod:`repro.serve.admission`) journals its denials
+the same write-ahead way: a ``shed`` record for every event refused by
+a load-shedding policy and a ``throttle`` record for every per-user
+rate-limit rejection, each carrying the denied edge and the decision
+``reason``.  Like heartbeats they change no queue state and every
+replayer skips them — they exist so overload behaviour is *audited*:
+:func:`decision_ledger` folds them back into per-reason counts that
+reconciliation compares against the queue's deadletter ledger (zero
+unjournaled drops).  ``evict`` records may carry a ``reason`` too,
+distinguishing an admission-driven ``drop_head`` shed (which *is* a
+queue-state change and must replay as an eviction) from a plain
+``drop_oldest`` backpressure eviction.
+
 Format: one JSON record per line, smallest-possible canonical encoding
 (sorted keys, no whitespace) with a ``crc`` field holding the CRC-32 of
 the canonical record body.  Sequence numbers are contiguous from 1; a
@@ -40,12 +53,19 @@ import os
 import threading
 import zlib
 from dataclasses import dataclass, field
-from typing import IO, Iterator, List, Optional, Tuple
+from typing import IO, Dict, Iterator, List, Optional, Tuple
 
 from repro.graph.streams import StreamEdge
 
-#: record kinds a WAL may contain: queue decisions + liveness heartbeats
-WAL_KINDS = ("accept", "evict", "batch", "heartbeat")
+#: record kinds a WAL may contain: queue decisions, liveness heartbeats
+#: and admission-control denials (ledger-only; replayers skip them)
+WAL_KINDS = ("accept", "evict", "batch", "heartbeat", "shed", "throttle")
+
+#: kinds that carry no queue-state change: every replayer skips them
+LEDGER_ONLY_KINDS = ("heartbeat", "shed", "throttle")
+
+#: kinds that carry a denied/evicted edge payload
+_EDGE_KINDS = ("accept", "evict", "shed", "throttle")
 
 #: width of the zero-padded first-seq suffix in rotated segment names
 _SEGMENT_SUFFIX_DIGITS = 12
@@ -55,9 +75,12 @@ _SEGMENT_SUFFIX_DIGITS = 12
 class WalRecord:
     """One journaled queue decision (or liveness heartbeat).
 
-    ``edge`` is set for ``accept``/``evict`` records; ``count`` is the
-    micro-batch size for ``batch`` records; ``t`` is the writer's clock
-    reading for ``heartbeat`` records.
+    ``edge`` is set for ``accept``/``evict``/``shed``/``throttle``
+    records; ``count`` is the micro-batch size for ``batch`` records;
+    ``t`` is the writer's clock reading for ``heartbeat`` records;
+    ``reason`` is the admission decision category on ``shed``/
+    ``throttle`` records (and, optionally, on admission-driven
+    ``evict`` records).
     """
 
     seq: int
@@ -65,6 +88,7 @@ class WalRecord:
     edge: Optional[StreamEdge] = None
     count: int = 0
     t: float = 0.0
+    reason: str = ""
 
 
 @dataclass
@@ -99,6 +123,8 @@ def _encode(record: WalRecord) -> bytes:
         body["n"] = int(record.count)
     if record.kind == "heartbeat":
         body["t"] = float(record.t)
+    if record.reason:
+        body["why"] = str(record.reason)
     canonical = _canonical(body)
     crc = zlib.crc32(canonical) & 0xFFFFFFFF
     wrapped = dict(body)
@@ -124,7 +150,10 @@ def _decode(line: bytes) -> Optional[WalRecord]:
     edge: Optional[StreamEdge] = None
     count = 0
     stamp = 0.0
-    if kind in ("accept", "evict"):
+    reason = payload.get("why", "")
+    if not isinstance(reason, str):
+        return None
+    if kind in _EDGE_KINDS:
         try:
             edge = StreamEdge(
                 int(payload["u"]),
@@ -143,7 +172,9 @@ def _decode(line: bytes) -> Optional[WalRecord]:
         if not isinstance(raw, (int, float)) or isinstance(raw, bool):
             return None
         stamp = float(raw)
-    return WalRecord(seq=seq, kind=kind, edge=edge, count=count, t=stamp)
+    return WalRecord(
+        seq=seq, kind=kind, edge=edge, count=count, t=stamp, reason=reason
+    )
 
 
 def segment_paths(path: str) -> List[str]:
@@ -273,6 +304,28 @@ def scan(path: str, collect_records: bool = True) -> WalScan:
     return result
 
 
+def decision_ledger(path: str) -> Dict[str, Dict[str, int]]:
+    """Per-reason counts of journaled admission decisions in ``path``.
+
+    Returns ``{kind: {reason: count}}`` for ``shed`` and ``throttle``
+    records plus ``evict`` records that carry a reason (a ``drop_head``
+    shed journals as an eviction so replay pops the head, but its
+    reason keeps it auditable here).  Plain backpressure evictions
+    (empty reason) are not admission decisions and are excluded.
+    Streams the log; never materialises it.
+    """
+    ledger: Dict[str, Dict[str, int]] = {"shed": {}, "throttle": {}, "evict": {}}
+    for record in iter_records(path):
+        if record.kind in ("shed", "throttle"):
+            bucket = ledger[record.kind]
+        elif record.kind == "evict" and record.reason:
+            bucket = ledger["evict"]
+        else:
+            continue
+        bucket[record.reason] = bucket.get(record.reason, 0) + 1
+    return ledger
+
+
 class WriteAheadLog:
     """Appender over one journal, self-repairing on open.
 
@@ -342,9 +395,26 @@ class WriteAheadLog:
         """Journal one accepted event (call *before* buffering it)."""
         return self._append("accept", edge=edge)
 
-    def append_evict(self, edge: StreamEdge) -> WalRecord:
-        """Journal a ``drop_oldest`` eviction (call *before* popping)."""
-        return self._append("evict", edge=edge)
+    def append_evict(self, edge: StreamEdge, reason: str = "") -> WalRecord:
+        """Journal an eviction (call *before* popping the queue head).
+
+        ``reason`` distinguishes an admission-driven ``drop_head`` shed
+        from a plain backpressure ``drop_oldest``; replay treats both
+        identically (the head pops), the ledger does not.
+        """
+        return self._append("evict", edge=edge, reason=reason)
+
+    def append_shed(self, edge: StreamEdge, reason: str) -> WalRecord:
+        """Journal a load-shedding denial (ledger-only; never replayed)."""
+        if not reason:
+            raise ValueError("shed records require a non-empty reason")
+        return self._append("shed", edge=edge, reason=reason)
+
+    def append_throttle(self, edge: StreamEdge, reason: str) -> WalRecord:
+        """Journal a rate-limit denial (ledger-only; never replayed)."""
+        if not reason:
+            raise ValueError("throttle records require a non-empty reason")
+        return self._append("throttle", edge=edge, reason=reason)
 
     def append_batch(self, count: int) -> WalRecord:
         """Journal a micro-batch hand-off of ``count`` buffered events."""
@@ -362,11 +432,12 @@ class WriteAheadLog:
         edge: Optional[StreamEdge] = None,
         count: int = 0,
         t: float = 0.0,
+        reason: str = "",
     ) -> WalRecord:
         with self._lock:
             if self._fh is None:
                 raise ValueError("write-ahead log is closed")
-            record = WalRecord(self.last_seq + 1, kind, edge, count, t)
+            record = WalRecord(self.last_seq + 1, kind, edge, count, t, reason)
             # Writing under the lock IS the durability contract: the
             # contiguous-seq invariant requires assigning the sequence
             # number and emitting its record as one atomic step.  The

@@ -5,6 +5,11 @@ live platform while it learns"; this package is that deployment story:
 
 * :mod:`repro.serve.ingest` — bounded event queue with micro-batching,
   backpressure and a deadletter policy;
+* :mod:`repro.serve.admission` — admission control in front of the
+  queue: per-user token-bucket rate limiting, overload watermarks with
+  hysteresis, and pluggable shed policies;
+* :mod:`repro.serve.dispatch` — the async dispatcher thread that drains
+  micro-batches so ``ingest()`` returns after the journaled accept;
 * :mod:`repro.serve.store` — copy-on-write versioned embedding
   snapshots (readers pin a version; updates publish atomically), plus
   the delta-publishing decayed store that keeps publishes sparse under
@@ -19,11 +24,17 @@ live platform while it learns"; this package is that deployment story:
   offline-parity checking (the ``repro serve-replay`` command).
 """
 
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.serve.dispatch import DispatchWorker
 from repro.serve.index import TopKIndex
 from repro.serve.ingest import BackpressureError, DeadLetter, EventQueue
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.replay import ReplayReport, StreamReplayDriver
-from repro.serve.service import RecommendationService, ServeConfig
+from repro.serve.service import QueryResult, RecommendationService, ServeConfig
 from repro.serve.store import (
     DecayedEmbeddingStore,
     DecayedSnapshot,
@@ -32,12 +43,17 @@ from repro.serve.store import (
 )
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
     "BackpressureError",
     "DeadLetter",
     "DecayedEmbeddingStore",
     "DecayedSnapshot",
+    "DispatchWorker",
     "EventQueue",
     "MetricsRegistry",
+    "QueryResult",
     "RecommendationService",
     "ReplayReport",
     "ServeConfig",

@@ -22,6 +22,19 @@ occasionally malformed.  The :class:`EventQueue` absorbs both:
 Dispatch can be paused (``pause()``/``resume()``) so a service can defer
 updates — e.g. while degraded — and drain later with :meth:`flush`.
 
+With ``defer_dispatch=True`` the queue never dispatches from ``put()``
+at all: a dispatcher thread (:mod:`repro.serve.dispatch`) drains ready
+micro-batches via :meth:`dispatch_next`, so producers pay only the
+accept/journal cost.  Batch boundaries are cut by *count* over the
+accepted FIFO either way, which is why a drained deferred queue is
+bitwise-identical to the inline path (DESIGN.md §16).  Admission
+control (:mod:`repro.serve.admission`) sheds into the same deadletter
+ledger — :meth:`shed_oldest` evicts the head under a ``drop_head``
+decision, and ``shed`` tallies admission denials separately from
+malformed (``rejected``) and backpressure (``dropped``) events;
+:meth:`deadletters_by_reason` exposes the per-category tallies for
+reconciliation against the WAL's decision ledger.
+
 Dispatch itself stays strictly serial — one micro-batch at a time, in
 cut order, under the queue lock — because InsLearn's replay/RNG
 contract is sequential over batches.  Shard parallelism (DESIGN.md §14)
@@ -49,8 +62,9 @@ OVERFLOW_POLICIES = ("raise", "drop_new", "drop_oldest")
 
 Validator = Callable[[StreamEdge], Optional[str]]
 BatchHandler = Callable[[EdgeStream], None]
-#: journal hook: (kind, edge-or-None, batch size) — see module docstring
-Journal = Callable[[str, Optional[StreamEdge], int], None]
+#: journal hook: (kind, edge-or-None, batch size, reason) — see module
+#: docstring; ``reason`` is non-empty only for admission-driven evictions
+Journal = Callable[[str, Optional[StreamEdge], int, str], None]
 
 
 class BackpressureError(RuntimeError):
@@ -90,10 +104,16 @@ class EventQueue:
         (default) accepts any ordering.
     journal:
         Write-ahead hook called with every queue decision before it
-        takes effect: ``("accept", edge, 0)``, ``("evict", edge, 0)``,
-        ``("batch", None, size)``.  An exception from the hook aborts
-        the decision (the event is not accepted), keeping the journal
+        takes effect: ``("accept", edge, 0, "")``,
+        ``("evict", edge, 0, reason)``, ``("batch", None, size, "")``.
+        The reason is non-empty only for admission-driven evictions
+        (:meth:`shed_oldest`).  An exception from the hook aborts the
+        decision (the event is not accepted), keeping the journal
         strictly ahead of the state.
+    defer_dispatch:
+        When True, ``put()`` never dispatches; ready micro-batches wait
+        for an external drainer calling :meth:`dispatch_next` (the
+        async dispatcher).  :meth:`flush` still drains explicitly.
     """
 
     def __init__(
@@ -106,6 +126,7 @@ class EventQueue:
         max_deadletters: int = 1024,
         late_tolerance: Optional[float] = None,
         journal: Optional[Journal] = None,
+        defer_dispatch: bool = False,
     ):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -137,6 +158,7 @@ class EventQueue:
         #            -> dead_letter/pause (update failure, breaker trip)
         self._lock = threading.RLock()
         self._paused = False
+        self.defer_dispatch = bool(defer_dispatch)
         self.deadletters: List[DeadLetter] = []
         #: rejection tallies bucketed by reason category (the part of the
         #: reason before the first ":"), never truncated
@@ -146,6 +168,7 @@ class EventQueue:
         self.accepted = 0
         self.rejected = 0
         self.dropped = 0
+        self.shed = 0
         self.batches_dispatched = 0
 
     # ---------------------------------------------------------------- control
@@ -218,18 +241,59 @@ class EventQueue:
                     return False
                 if self._journal is not None:
                     # write-ahead: journal the eviction before it happens
-                    self._journal("evict", self._buffer[0], 0)  # reprolint: disable=hold-and-call
+                    self._journal("evict", self._buffer[0], 0, "")  # reprolint: disable=hold-and-call
                 evicted = self._buffer.pop(0)
                 self._dead_letter(evicted, "backpressure: evicted oldest")
             if self._journal is not None:
                 # write-ahead: journal the acceptance before buffering
-                self._journal("accept", edge, 0)  # reprolint: disable=hold-and-call
+                self._journal("accept", edge, 0, "")  # reprolint: disable=hold-and-call
             self._buffer.append(edge)
             self.accepted += 1
             if edge.t > self.max_timestamp:
                 self.max_timestamp = float(edge.t)
             self._dispatch_ready()
             return True
+
+    @property
+    def has_ready(self) -> bool:
+        """True when a full micro-batch is buffered and dispatch is live."""
+        with self._lock:
+            return not self._paused and len(self._buffer) >= self.batch_size
+
+    def dispatch_next(self) -> int:
+        """Dispatch at most one ready micro-batch; returns events cut.
+
+        The async dispatcher's drain primitive.  Batches are cut by
+        *count* in FIFO order — exactly how the inline path cuts them —
+        so a drained deferred queue walks the same batch boundaries as
+        an inline queue fed the same accepted events.  Returns 0 while
+        paused or when fewer than ``batch_size`` events are pending.
+        """
+        with self._lock:
+            if self._paused or len(self._buffer) < self.batch_size:
+                return 0
+            return self._dispatch_one(self.batch_size)
+
+    def shed_oldest(self, reason: str) -> Optional[StreamEdge]:
+        """Evict the queue head under an admission ``drop_head`` decision.
+
+        Journals the eviction *with the reason* before popping — replay
+        treats it like any other eviction (the head pops), but the WAL
+        decision ledger can tell an admission shed from plain
+        backpressure.  The head is deadlettered under ``reason``.
+        Returns the shed event, or ``None`` when nothing is buffered.
+        """
+        if not reason:
+            raise ValueError("shed_oldest requires a non-empty reason")
+        with self._lock:
+            if not self._buffer:
+                return None
+            if self._journal is not None:
+                # write-ahead: journal the shed-eviction before it happens
+                self._journal("evict", self._buffer[0], 0, reason)  # reprolint: disable=hold-and-call
+            head = self._buffer.pop(0)
+            self._dead_letter(head, reason)
+            return head
 
     def flush(self) -> int:
         """Dispatch everything pending (final batch may be short).
@@ -285,22 +349,40 @@ class EventQueue:
 
     def dead_letter(self, edge: StreamEdge, reason: str) -> None:
         """Deadletter an event on the owner's behalf (e.g. a batch whose
-        update failed after it left the buffer)."""
+        update failed after it left the buffer, or an admission denial
+        that never reached ``put``)."""
         with self._lock:
             self._dead_letter(edge, reason)
+
+    def deadletters_by_reason(self) -> Dict[str, int]:
+        """Per-category rejection tallies (never truncated).
+
+        Categories are the reason text before the first ``":"`` —
+        ``shed`` / ``throttle`` for admission denials, ``backpressure``
+        for overflow, validator text for malformed events — so
+        reconciliation can assert per-reason ledgers against the WAL's
+        :func:`~repro.resilience.wal.decision_ledger`.
+        """
+        with self._lock:
+            return dict(self.reason_counts)
 
     # --------------------------------------------------------------- internals
 
     def _dispatch_ready(self) -> None:
         # re-check pause each round: a handler (e.g. a tripped circuit
-        # breaker) may pause the queue mid-drain
-        while not self._paused and len(self._buffer) >= self.batch_size:
+        # breaker) may pause the queue mid-drain.  Under defer_dispatch
+        # the inline path never drains — the dispatcher thread owns it.
+        while (
+            not self._paused
+            and not self.defer_dispatch
+            and len(self._buffer) >= self.batch_size
+        ):
             self._dispatch_one(self.batch_size)
 
     def _dispatch_one(self, size: int) -> int:
         if self._journal is not None:
             # write-ahead: journal the batch cut before it happens
-            self._journal("batch", None, size)  # reprolint: disable=hold-and-call
+            self._journal("batch", None, size, "")  # reprolint: disable=hold-and-call
         batch, self._buffer = self._buffer[:size], self._buffer[size:]
         self.batches_dispatched += 1
         # Dispatch-under-lock is the queue's consistency contract: the
@@ -314,7 +396,11 @@ class EventQueue:
     def _dead_letter(self, edge: StreamEdge, reason: str) -> None:
         category = reason.split(":", 1)[0]
         self.reason_counts[category] = self.reason_counts.get(category, 0) + 1
-        if reason.startswith("backpressure"):
+        if category in ("shed", "throttle"):
+            # admission denials are policy, not pathology: counted apart
+            # from malformed (rejected) and backpressure (dropped)
+            self.shed += 1
+        elif reason.startswith("backpressure"):
             self.dropped += 1
         else:
             self.rejected += 1

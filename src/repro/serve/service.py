@@ -40,6 +40,13 @@ from repro.core.model import SUPA
 from repro.datasets.base import Dataset
 from repro.graph.streams import EdgeStream, StreamEdge
 from repro.obs.trace import NullTracer, Tracer, make_tracer
+from repro.serve.admission import (
+    SHEDDING,
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.serve.dispatch import DispatchWorker
 from repro.serve.index import TopKIndex
 from repro.serve.ingest import BackpressureError, EventQueue
 from repro.serve.metrics import MetricsRegistry
@@ -82,6 +89,11 @@ class ServeConfig:
     late_tolerance: Optional[float] = None  # deadletter events older than this
     ingest_retries: int = 3  # ingest_with_retry backpressure budget
     ingest_backoff_seconds: float = 0.001  # base of the exponential backoff
+    #: total-deadline budget for ingest_with_retry: retries stop once the
+    #: *planned* cumulative backoff would exceed this many seconds (a
+    #: deterministic budget — no clock read — so retry behaviour is
+    #: replayable).  ``None`` keeps the attempt-count budget alone.
+    retry_deadline_seconds: Optional[float] = None
     breaker_threshold: int = 3  # consecutive update failures to trip; 0 = never
     breaker_cooldown_events: int = 64  # ingests while open before a probe
     #: injectable sleep for the ingest_with_retry backoff; ``None`` uses
@@ -96,6 +108,17 @@ class ServeConfig:
     #: the ingest path stamp-free.  The load harness and benches pass
     #: ``time.perf_counter``; tests pass a fake clock.
     clock_fn: Optional[Callable[[], float]] = None
+    # --- async dispatch + admission control (DESIGN.md §16) ---------------
+    #: run updates on a dispatcher thread instead of inline in ``put()``:
+    #: ``ingest()`` returns after the journaled accept decision.  The
+    #: worker starts lazily on the first ingest (so recovery replay never
+    #: races it) and is closed by :meth:`RecommendationService.close`.
+    async_dispatch: bool = False
+    dispatch_poll_seconds: float = 0.05  # worker idle wake-up backstop
+    #: admission control in front of the queue (rate limiting, overload
+    #: shedding); ``None`` admits everything.  See
+    #: :class:`~repro.serve.admission.AdmissionConfig`.
+    admission: Optional[AdmissionConfig] = None
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -150,10 +173,37 @@ class ServeConfig:
                 "wal_segment_bytes must be >= 1 when set, got "
                 f"{self.wal_segment_bytes}"
             )
+        if self.retry_deadline_seconds is not None and self.retry_deadline_seconds < 0:
+            raise ValueError(
+                "retry_deadline_seconds must be >= 0 when set, got "
+                f"{self.retry_deadline_seconds}"
+            )
+        if self.dispatch_poll_seconds <= 0:
+            raise ValueError(
+                "dispatch_poll_seconds must be > 0, got "
+                f"{self.dispatch_poll_seconds}"
+            )
 
 
 class ReadOnlyServiceError(RuntimeError):
     """Ingest was offered to a service serving in read-only replica mode."""
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """A :meth:`RecommendationService.query` answer with its health.
+
+    ``degraded`` marks answers served while the system is shedding load,
+    breaker-paused, or past the staleness watermark — still correct
+    against the last published snapshot, just staler than the SLO
+    promises.  ``reason`` says which signal tripped; ``snapshot_version``
+    pins the version the items came from.
+    """
+
+    items: np.ndarray
+    degraded: bool = False
+    reason: str = ""
+    snapshot_version: int = -1
 
 
 class RecommendationService:
@@ -250,6 +300,14 @@ class RecommendationService:
             "cache.warmed",
             "shard.rounds",
             "shard.publish.parts",
+            "ingest.offered",
+            "ingest.shed",
+            "admission.admitted",
+            "admission.throttled",
+            "admission.shed",
+            "admission.escalations",
+            "retry.exhausted",
+            "serve.degraded",
         ):
             self.metrics.counter(name)
         for name in (
@@ -258,6 +316,8 @@ class RecommendationService:
             "staleness.events_behind",
             "breaker.state",
             "shard.imbalance",
+            "admission.state",
+            "queue.depth_fraction",
         ):
             self.metrics.gauge(name)
         for name in ("latency.recommend_seconds", "latency.update_seconds"):
@@ -370,6 +430,24 @@ class RecommendationService:
             # Always installed: the hook no-ops without a WAL, which
             # lets attach_durability() start journaling post-promotion.
             journal=self._journal_decision,
+            defer_dispatch=self.config.async_dispatch,
+        )
+        # --- admission control + async dispatch (DESIGN.md §16) ----------
+        self.admission: Optional[AdmissionController] = (
+            AdmissionController(self.config.admission, clock=self.config.clock_fn)
+            if self.config.admission is not None
+            else None
+        )
+        # Created eagerly, started lazily on the first ingest: recovery
+        # replay (resilience_suspended) must never race a live worker.
+        self.dispatcher: Optional[DispatchWorker] = (
+            DispatchWorker(
+                self.queue,
+                poll_seconds=self.config.dispatch_poll_seconds,
+                on_error=self._register_dispatch_failure,
+            )
+            if self.config.async_dispatch
+            else None
         )
 
     # ------------------------------------------------------------------ intake
@@ -399,11 +477,14 @@ class RecommendationService:
     def ingest(self, edge: StreamEdge) -> bool:
         """Offer one interaction event; True when accepted for learning.
 
-        A full micro-batch triggers an update + snapshot publish inline;
-        malformed, late or shed events return False (see
-        ``deadletters``).  While the circuit breaker is open, events
-        keep buffering (bounded-stale serving) and every ingest counts
-        toward the cooldown that triggers a half-open probe.
+        With inline dispatch a full micro-batch triggers an update +
+        snapshot publish before this returns; with ``async_dispatch``
+        the call returns right after the journaled accept decision and
+        the dispatcher thread runs the update.  Malformed, late,
+        throttled or shed events return False (see ``deadletters``).
+        While the circuit breaker is open, events keep buffering
+        (bounded-stale serving) and every ingest counts toward the
+        cooldown that triggers a half-open probe.
         """
         with self._state_lock:
             if self._read_only:
@@ -417,42 +498,164 @@ class RecommendationService:
                 probe = self._breaker_cooldown <= 0
         if probe:
             self._probe_breaker()
+        counters = self.metrics
+        counters.counter("ingest.offered").inc()
+        dispatcher = self.dispatcher
+        if dispatcher is not None:
+            dispatcher.start()  # idempotent; lazy so recovery never races
+        admission = self.admission
+        if admission is not None and not self._admit(admission, edge):
+            self._publish_ingest_metrics()
+            return False
         with self.tracer.span("serve.service.ingest"):
             accepted = self.queue.put(edge)
+        if accepted and dispatcher is not None:
+            dispatcher.notify()
+        self._publish_ingest_metrics()
+        return accepted
+
+    def _admit(self, admission: AdmissionController, edge: StreamEdge) -> bool:
+        """Run one event through admission; False when denied.
+
+        Every denial is journaled to the WAL ledger *before* the
+        deadletter (write-ahead of the decision), so the ledger, the
+        queue's per-reason tallies and the controller's counts stay
+        reconcilable event-for-event.  A ``drop_head`` decision admits
+        the event but first sheds the queue head (journaled as an
+        eviction carrying the shed reason).
+        """
+        decision = admission.admit(
+            edge,
+            queue_depth=self.queue.pending,
+            capacity=self.config.capacity,
+            staleness_seconds=self._staleness_seconds(),
+        )
+        if decision.admitted:
+            if decision.action == "drop_head":
+                self.queue.shed_oldest(decision.reason)
+            return True
+        self._journal_denial(decision, edge)
+        self.queue.dead_letter(edge, decision.reason)
+        return False
+
+    def _journal_denial(self, decision: AdmissionDecision, edge: StreamEdge) -> None:
+        """Write one shed/throttle record (ledger-only; never replayed)."""
+        wal = self.wal
+        if wal is None:
+            return
+        with self._state_lock:
+            suspended = self._resilience_suspended
+        if suspended:
+            return
+        if decision.action == "throttle":
+            wal.append_throttle(edge, decision.reason)
+        else:
+            wal.append_shed(edge, decision.reason)
+
+    def _staleness_seconds(self) -> float:
+        """How long the oldest buffered event has waited (0 when unknown).
+
+        Reads the head of the accept-time stamp deque without the queue
+        lock: a concurrent pop can race the peek, so this is a pressure
+        *heuristic* for admission watermarks, never an accounting input.
+        Requires ``clock_fn``; returns 0.0 otherwise.
+        """
+        clock = self._stage_clock
+        if clock is None:
+            return 0.0
+        try:
+            head = self._accept_times[0]
+        except IndexError:
+            return 0.0
+        return max(0.0, clock() - head)
+
+    def _publish_ingest_metrics(self) -> None:
         counters = self.metrics
         counters.counter("ingest.accepted").set(self.queue.accepted)
         counters.counter("ingest.rejected").set(self.queue.rejected)
         counters.counter("ingest.dropped").set(self.queue.dropped)
+        counters.counter("ingest.shed").set(self.queue.shed)
         counters.counter("ingest.late").set(
             self.queue.reason_counts.get("late event", 0)
         )
-        counters.gauge("queue.pending").set(self.queue.pending)
-        return accepted
+        pending = self.queue.pending
+        counters.gauge("queue.pending").set(pending)
+        counters.gauge("queue.depth_fraction").set(
+            pending / self.config.capacity
+        )
+        admission = self.admission
+        if admission is not None:
+            counts = admission.counts()
+            counters.counter("admission.admitted").set(counts["admitted"])
+            counters.counter("admission.throttled").set(counts["throttled"])
+            counters.counter("admission.shed").set(counts["shed"])
+            counters.counter("admission.escalations").set(counts["escalations"])
+            counters.gauge("admission.state").set(
+                1.0 if admission.state == SHEDDING else 0.0
+            )
+
+    def _register_dispatch_failure(self, exc: Exception) -> None:
+        """Dispatcher ``on_error`` hook: a crash escaping the worker's
+        dispatch round (e.g. a WAL append failure while journaling a
+        batch cut — the inline path would raise it into the producer)
+        counts toward the circuit breaker exactly like an update
+        failure, so a persistently failing async path degrades to
+        bounded-stale serving instead of spinning."""
+        with self._state_lock:
+            self._consecutive_update_failures += 1
+            failures = self._consecutive_update_failures
+        self.metrics.counter("updates.failed").inc()
+        threshold = self.config.breaker_threshold
+        with self._state_lock:
+            trip = bool(threshold) and failures >= threshold and not self._breaker_open
+            if trip:
+                self._breaker_open = True
+                self._breaker_cooldown = self.config.breaker_cooldown_events
+        if trip:
+            self.queue.pause()
+            self.metrics.counter("breaker.opened").inc()
+            self.metrics.gauge("breaker.state").set(1.0)
 
     def ingest_with_retry(
         self,
         edge: StreamEdge,
         retries: Optional[int] = None,
         backoff_seconds: Optional[float] = None,
+        deadline_seconds: Optional[float] = None,
     ) -> bool:
         """:meth:`ingest` with exponential-backoff retries on backpressure.
 
         Only meaningful under the ``"raise"`` overflow policy with a
-        concurrent drainer (another thread flushing or resuming the
-        queue); after the retry budget is exhausted the final
-        :class:`~repro.serve.ingest.BackpressureError` propagates.
+        concurrent drainer (the async dispatcher, or another thread
+        flushing or resuming the queue).  Two budgets bound the retry
+        loop: the attempt count (``retries``) and a total deadline over
+        the *planned* cumulative backoff (``deadline_seconds``, default
+        ``retry_deadline_seconds``) — deterministic, no clock read — so
+        retries can never stall a caller past its timeout.  Exhausting
+        either budget counts ``retry.exhausted`` and re-raises the final
+        :class:`~repro.serve.ingest.BackpressureError`.
         """
         retries = self.config.ingest_retries if retries is None else retries
         if backoff_seconds is None:
             backoff_seconds = self.config.ingest_backoff_seconds
+        if deadline_seconds is None:
+            deadline_seconds = self.config.retry_deadline_seconds
         attempt = 0
+        planned_wait = 0.0
         while True:
             try:
                 return self.ingest(edge)
             except BackpressureError:
-                if attempt >= retries:
+                delay = backoff_seconds * (2.0 ** attempt)
+                over_deadline = (
+                    deadline_seconds is not None
+                    and planned_wait + delay > deadline_seconds
+                )
+                if attempt >= retries or over_deadline:
+                    self.metrics.counter("retry.exhausted").inc()
                     raise
-                self._sleep(backoff_seconds * (2.0 ** attempt))
+                self._sleep(delay)
+                planned_wait += delay
                 attempt += 1
 
     def flush(self) -> int:
@@ -731,10 +934,19 @@ class RecommendationService:
     # -------------------------------------------------------------- durability
 
     def _journal_decision(
-        self, kind: str, edge: Optional[StreamEdge], count: int
+        self,
+        kind: str,
+        edge: Optional[StreamEdge],
+        count: int,
+        reason: str = "",
     ) -> None:
         """EventQueue journal hook → WAL append (write-ahead of state),
-        then per-event stage stamping (queue-wait attribution)."""
+        then per-event stage stamping (queue-wait attribution).
+
+        ``reason`` is non-empty only for admission-driven evictions
+        (``drop_head`` sheds), which journal as evictions so replay
+        pops the head but stay auditable in the decision ledger.
+        """
         wal = self.wal
         if wal is not None:
             with self._state_lock:
@@ -745,7 +957,7 @@ class RecommendationService:
                 if kind == "accept":
                     wal.append_accept(edge)
                 elif kind == "evict":
-                    wal.append_evict(edge)
+                    wal.append_evict(edge, reason=reason)
                 else:
                     wal.append_batch(count)
         clock = self._stage_clock
@@ -839,10 +1051,15 @@ class RecommendationService:
                 self._resilience_suspended = previous
 
     def close(self) -> None:
-        """Release pooled resources (idempotent): the serve-side shard
-        pool, a sharded engine's worker pool, and the WAL file handle (a
-        crashed process releases these for free; tests and drivers call
-        it before recovering)."""
+        """Release pooled resources (idempotent): the dispatcher thread
+        (joined after draining ready batches — quiescence contract,
+        DESIGN.md §16), the serve-side shard pool, a sharded engine's
+        worker pool, and the WAL file handle (a crashed process releases
+        these for free; tests and drivers call it before recovering).
+        A partial trailing micro-batch stays buffered; call ``flush()``
+        first when the run must quiesce completely."""
+        if self.dispatcher is not None:
+            self.dispatcher.close()
         with self._state_lock:
             pool = self._shard_pool
             self._shard_pool = None
@@ -888,6 +1105,43 @@ class RecommendationService:
             self.metrics.counter("serve.stale_serves").inc()
         self.metrics.gauge("staleness.events_behind").set(stale_by)
         return items
+
+    def query(self, user: int, k: int = 10) -> "QueryResult":
+        """Overload-aware :meth:`recommend`: answers never error under
+        pressure, they degrade.
+
+        When the circuit breaker is open, admission is shedding, or the
+        oldest buffered event has waited past the admission staleness
+        watermark, the answer still comes from the last published
+        snapshot (exactly what :meth:`recommend` serves) but carries
+        ``degraded=True`` and the reason — the SLO-visible marker that
+        bounded staleness is currently *unbounded by fresh updates*.
+        """
+        reason = ""
+        with self._state_lock:
+            if self._breaker_open:
+                reason = "breaker open"
+        admission = self.admission
+        if not reason and admission is not None:
+            if admission.state == SHEDDING:
+                reason = "admission shedding"
+            else:
+                high = (
+                    self.config.admission.staleness_highwater
+                    if self.config.admission is not None
+                    else None
+                )
+                if high is not None and self._staleness_seconds() >= high:
+                    reason = "staleness past watermark"
+        items = self.recommend(user, k)
+        if reason:
+            self.metrics.counter("serve.degraded").inc()
+        return QueryResult(
+            items=items,
+            degraded=bool(reason),
+            reason=reason,
+            snapshot_version=self.store.version,
+        )
 
     def offline_top_k(self, user: int, k: int = 10) -> np.ndarray:
         """The offline ranking pipeline's answer (Eq. 15, full catalogue).

@@ -1,0 +1,265 @@
+"""Tests for the admission controller: token buckets, hysteresis, policies."""
+
+import pytest
+
+from repro.graph.streams import StreamEdge
+from repro.serve.admission import (
+    NORMAL,
+    REASON_DROP_HEAD,
+    REASON_REJECT,
+    REASON_SAMPLE,
+    REASON_THROTTLE,
+    SHEDDING,
+    AdmissionConfig,
+    AdmissionController,
+)
+
+
+def edge(u=0, t=1.0):
+    return StreamEdge(u=u, v=u + 100, t=t, edge_type="click")
+
+
+class FakeClock:
+    """Deterministic injected time source."""
+
+    def __init__(self, start=0.0):
+        self.now = float(start)
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def controller(clock=None, **kwargs):
+    return AdmissionController(AdmissionConfig(**kwargs), clock=clock)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(rate_per_user=-1.0),
+            dict(burst=0.5),
+            dict(max_tracked_users=0),
+            dict(max_inflight=-1),
+            dict(shed_policy="tarpit"),
+            dict(depth_highwater=0.0),
+            dict(depth_highwater=1.5),
+            dict(depth_lowwater=0.95, depth_highwater=0.9),
+            dict(staleness_highwater=0.0),
+            dict(staleness_highwater=1.0, staleness_lowwater=2.0),
+            dict(sample_keep=0.0),
+            dict(sample_keep=1.5),
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionConfig(**kwargs)
+
+    def test_staleness_lowwater_defaults_to_half_the_high(self):
+        cfg = AdmissionConfig(staleness_highwater=4.0)
+        assert cfg.staleness_lowwater == 2.0
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        clock = FakeClock()
+        ctl = controller(clock, rate_per_user=1.0, burst=3.0)
+        decisions = [ctl.admit(edge(u=7), 0, 100) for _ in range(5)]
+        assert [d.admitted for d in decisions] == [True] * 3 + [False] * 2
+        assert decisions[3].action == "throttle"
+        assert decisions[3].reason == REASON_THROTTLE
+        assert ctl.throttled == 2
+
+    def test_refill_over_time(self):
+        clock = FakeClock()
+        ctl = controller(clock, rate_per_user=2.0, burst=1.0)
+        assert ctl.admit(edge(u=1), 0, 100).admitted
+        assert not ctl.admit(edge(u=1), 0, 100).admitted
+        clock.advance(0.5)  # 2 tokens/s * 0.5s = 1 token back
+        assert ctl.admit(edge(u=1), 0, 100).admitted
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        ctl = controller(clock, rate_per_user=1.0, burst=2.0)
+        for _ in range(2):
+            assert ctl.admit(edge(u=1), 0, 100).admitted
+        clock.advance(100.0)  # banked tokens cap at burst, not 100
+        results = [ctl.admit(edge(u=1), 0, 100).admitted for _ in range(3)]
+        assert results == [True, True, False]
+
+    def test_users_have_independent_buckets(self):
+        clock = FakeClock()
+        ctl = controller(clock, rate_per_user=1.0, burst=1.0)
+        assert ctl.admit(edge(u=1), 0, 100).admitted
+        assert not ctl.admit(edge(u=1), 0, 100).admitted
+        assert ctl.admit(edge(u=2), 0, 100).admitted  # fresh bucket
+
+    def test_lru_bound_evicts_coldest_user(self):
+        clock = FakeClock()
+        ctl = controller(
+            clock, rate_per_user=1.0, burst=1.0, max_tracked_users=2
+        )
+        assert ctl.admit(edge(u=1), 0, 100).admitted  # drains user 1
+        assert ctl.admit(edge(u=2), 0, 100).admitted
+        assert ctl.admit(edge(u=3), 0, 100).admitted  # evicts user 1
+        assert ctl.tracked_users == 2
+        # evicted user returns to a fresh, full bucket
+        assert ctl.admit(edge(u=1), 0, 100).admitted
+
+    def test_decisions_replay_bitwise_with_injected_clock(self):
+        def run():
+            clock = FakeClock()
+            ctl = controller(clock, rate_per_user=1.0, burst=2.0)
+            out = []
+            for i in range(20):
+                out.append(ctl.admit(edge(u=i % 3), 0, 100).admitted)
+                clock.advance(0.3)
+            return out
+
+        assert run() == run()
+
+    def test_zero_rate_disables_throttling(self):
+        ctl = controller(FakeClock(), rate_per_user=0.0)
+        assert all(ctl.admit(edge(u=1), 0, 100).admitted for _ in range(100))
+        assert ctl.tracked_users == 0
+
+
+class TestHysteresis:
+    def test_escalates_on_depth_highwater(self):
+        ctl = controller(FakeClock(), depth_highwater=0.5, depth_lowwater=0.25)
+        assert ctl.admit(edge(), 49, 100).admitted
+        assert ctl.state == NORMAL
+        assert not ctl.admit(edge(), 50, 100).admitted
+        assert ctl.state == SHEDDING
+        assert ctl.escalations == 1
+
+    def test_holds_between_the_watermarks(self):
+        ctl = controller(FakeClock(), depth_highwater=0.5, depth_lowwater=0.25)
+        ctl.admit(edge(), 50, 100)
+        # depth fell below high but not to low: still shedding
+        assert not ctl.admit(edge(), 40, 100).admitted
+        assert ctl.state == SHEDDING
+        # at/below low: de-escalates, this event is admitted
+        assert ctl.admit(edge(), 25, 100).admitted
+        assert ctl.state == NORMAL
+        assert ctl.de_escalations == 1
+
+    def test_staleness_signal_escalates(self):
+        ctl = controller(FakeClock(), staleness_highwater=2.0)
+        assert ctl.admit(edge(), 0, 100, staleness_seconds=1.9).admitted
+        assert not ctl.admit(edge(), 0, 100, staleness_seconds=2.0).admitted
+        assert ctl.state == SHEDDING
+
+    def test_max_inflight_signal_escalates(self):
+        ctl = controller(FakeClock(), max_inflight=10)
+        assert ctl.admit(edge(), 9, 1000).admitted
+        assert not ctl.admit(edge(), 10, 1000).admitted
+        assert ctl.state == SHEDDING
+
+    def test_de_escalation_needs_all_signals_below_low(self):
+        ctl = controller(
+            FakeClock(),
+            depth_highwater=0.5,
+            depth_lowwater=0.25,
+            staleness_highwater=2.0,
+        )
+        ctl.admit(edge(), 50, 100)  # escalate on depth
+        # depth recovered, staleness still above its low watermark (1.0)
+        assert not ctl.admit(edge(), 0, 100, staleness_seconds=1.5).admitted
+        assert ctl.state == SHEDDING
+        assert ctl.admit(edge(), 0, 100, staleness_seconds=0.5).admitted
+        assert ctl.state == NORMAL
+
+
+class TestShedPolicies:
+    def test_reject_denies_new_events(self):
+        ctl = controller(FakeClock(), shed_policy="reject", depth_highwater=0.5)
+        decision = ctl.admit(edge(), 50, 100)
+        assert not decision.admitted
+        assert decision.action == "shed"
+        assert decision.reason == REASON_REJECT
+        assert ctl.shed == 1
+
+    def test_drop_head_admits_but_requests_head_shed(self):
+        ctl = controller(
+            FakeClock(), shed_policy="drop_head", depth_highwater=0.5
+        )
+        decision = ctl.admit(edge(), 50, 100)
+        assert decision.admitted
+        assert decision.action == "drop_head"
+        assert decision.reason == REASON_DROP_HEAD
+        # one offered event counted as both a shed (the head) and an admit
+        assert ctl.shed == 1 and ctl.admitted == 1
+
+    def test_degrade_to_sample_is_seed_deterministic(self):
+        def run(seed):
+            ctl = controller(
+                FakeClock(),
+                shed_policy="degrade_to_sample",
+                depth_highwater=0.5,
+                depth_lowwater=0.1,
+                sample_keep=0.5,
+                seed=seed,
+            )
+            return [ctl.admit(edge(), 50, 100).admitted for _ in range(64)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_degrade_to_sample_keeps_roughly_the_keep_fraction(self):
+        ctl = controller(
+            FakeClock(),
+            shed_policy="degrade_to_sample",
+            depth_highwater=0.5,
+            depth_lowwater=0.1,  # depth stays above: no flap back to normal
+            sample_keep=0.25,
+            seed=0,
+        )
+        decisions = [ctl.admit(edge(), 50, 100) for _ in range(400)]
+        kept = sum(d.admitted for d in decisions)
+        assert 0.15 * 400 < kept < 0.35 * 400
+        for d in decisions:
+            if not d.admitted:
+                assert d.reason == REASON_SAMPLE
+
+    def test_sample_keep_one_admits_everything(self):
+        ctl = controller(
+            FakeClock(),
+            shed_policy="degrade_to_sample",
+            depth_highwater=0.5,
+            sample_keep=1.0,
+        )
+        assert all(ctl.admit(edge(), 50, 100).admitted for _ in range(64))
+
+
+class TestCounts:
+    def test_tallies_reconcile(self):
+        clock = FakeClock()
+        ctl = controller(
+            clock,
+            rate_per_user=1.0,
+            burst=2.0,
+            depth_highwater=0.5,
+            depth_lowwater=0.1,
+        )
+        # user 0 over its burst: 2 admitted, 3 throttled (throttling
+        # precedes the watermark machine, so depth stays calm here)
+        for _ in range(5):
+            ctl.admit(edge(u=0), 0, 100)
+        # distinct users past the depth watermark: escalate, then shed
+        for i in range(5):
+            ctl.admit(edge(u=1 + i), 60, 100)
+        counts = ctl.counts()
+        assert counts["offered"] == 10
+        assert counts["admitted"] == 2
+        assert counts["throttled"] == 3
+        assert counts["shed"] == 5
+        # reject policy: every offer is exactly one of the three outcomes
+        assert (
+            counts["admitted"] + counts["throttled"] + counts["shed"]
+            == counts["offered"]
+        )
+        assert counts["escalations"] == 1

@@ -1,0 +1,247 @@
+"""Overload behaviour end-to-end: degraded serving, async/inline parity,
+crash routing into the breaker, and the deterministic retry deadline.
+"""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import SUPAConfig
+from repro.core.model import SUPA
+from repro.graph.streams import StreamEdge
+from repro.serve.admission import AdmissionConfig
+from repro.serve.ingest import BackpressureError
+from repro.serve.service import RecommendationService, ServeConfig
+
+
+def make_service(dataset, **kwargs):
+    model = SUPA.for_dataset(
+        dataset,
+        config=SUPAConfig(dim=8, num_walks=2, walk_length=2, seed=0),
+    )
+    defaults = dict(batch_size=4, capacity=64)
+    defaults.update(kwargs)
+    return RecommendationService(
+        dataset, model=model, config=ServeConfig(**defaults)
+    )
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestDegradedQuery:
+    def test_plain_query_is_not_degraded(self, small_dataset):
+        svc = make_service(small_dataset)
+        result = svc.query(0, k=3)
+        assert not result.degraded and result.reason == ""
+        assert len(result.items) == 3
+        assert result.snapshot_version == svc.snapshot_version
+
+    def test_open_breaker_marks_answers_degraded(self, small_dataset):
+        svc = make_service(small_dataset, breaker_threshold=1)
+        svc._register_dispatch_failure(RuntimeError("worker crash"))
+        assert svc.breaker_open
+        result = svc.query(0, k=3)
+        assert result.degraded and result.reason == "breaker open"
+        assert len(result.items) == 3  # still served, from the snapshot
+        assert svc.metrics.counter("serve.degraded").value == 1
+
+    def test_admission_shedding_marks_answers_degraded(self, small_dataset):
+        svc = make_service(
+            small_dataset,
+            batch_size=4,
+            capacity=8,
+            admission=AdmissionConfig(
+                depth_highwater=0.25, depth_lowwater=0.1
+            ),
+        )
+        edges = list(small_dataset.stream)
+        svc.queue.pause()  # build depth without dispatching
+        assert svc.ingest(edges[0])
+        assert svc.ingest(edges[1])
+        # depth 2/8 = 0.25 crosses the highwater: escalate + shed
+        assert not svc.ingest(edges[2])
+        assert svc.query(0, k=3).reason == "admission shedding"
+        # drain, then one admitted event de-escalates the machine
+        svc.queue.resume()
+        svc.flush()
+        assert svc.ingest(edges[2])
+        assert not svc.query(0, k=3).degraded
+
+    def test_staleness_past_watermark_marks_answers_degraded(
+        self, small_dataset
+    ):
+        clock = FakeClock()
+        svc = make_service(
+            small_dataset,
+            clock_fn=clock,
+            admission=AdmissionConfig(staleness_highwater=1.0),
+        )
+        edges = list(small_dataset.stream)
+        assert svc.ingest(edges[0])  # buffered; batch not full yet
+        clock.now += 2.0  # the buffered head is now 2s old
+        result = svc.query(0, k=3)
+        assert result.degraded
+        assert result.reason == "staleness past watermark"
+        svc.flush()  # queue empty: staleness heuristic back to 0
+        assert not svc.query(0, k=3).degraded
+
+
+class TestAsyncInlineParity:
+    def test_drained_async_run_is_bitwise_identical_to_inline(
+        self, small_dataset
+    ):
+        from repro.replicate.failover import state_fingerprint
+
+        edges = list(small_dataset.stream)
+
+        inline = make_service(small_dataset)
+        for e in edges:
+            inline.ingest(e)
+        inline.flush()
+
+        deferred = make_service(
+            small_dataset, async_dispatch=True, dispatch_poll_seconds=0.005
+        )
+        for e in edges:
+            deferred.ingest(e)
+        assert deferred.dispatcher is not None and deferred.dispatcher.running
+        deferred.dispatcher.close()  # quiesce: drain ready batches...
+        deferred.flush()  # ...and the partial tail
+
+        try:
+            assert state_fingerprint(inline) == state_fingerprint(deferred)
+            assert (
+                inline.model.rng.bit_generator.state
+                == deferred.model.rng.bit_generator.state
+            )
+            assert inline.trainer.rng_state() == deferred.trainer.rng_state()
+            for user in range(3):
+                np.testing.assert_array_equal(
+                    inline.recommend(user, k=5), deferred.recommend(user, k=5)
+                )
+        finally:
+            inline.close()
+            deferred.close()
+
+
+class TestCrashInWorker:
+    def test_wal_failure_in_async_dispatch_trips_the_breaker(
+        self, small_dataset, tmp_path
+    ):
+        svc = make_service(
+            small_dataset,
+            async_dispatch=True,
+            dispatch_poll_seconds=0.005,
+            breaker_threshold=1,
+            wal_path=str(tmp_path / "events.wal"),
+        )
+        try:
+
+            def boom(count):
+                raise OSError("disk full while journaling the batch cut")
+
+            svc.wal.append_batch = boom
+            edges = list(small_dataset.stream)
+            for e in edges[:4]:  # one full micro-batch
+                assert svc.ingest(e)
+            # the failure happens on the worker thread, escapes
+            # dispatch_next, reaches on_error and trips the breaker
+            assert wait_until(lambda: svc.breaker_open)
+            assert svc.queue.paused
+            assert svc.metrics.counter("breaker.opened").value == 1
+            assert svc.metrics.counter("updates.failed").value >= 1
+            assert svc.dispatcher.errors >= 1
+            assert svc.dispatcher.running  # crash never killed the thread
+            assert svc.query(0, k=3).reason == "breaker open"
+        finally:
+            svc.close()
+
+
+class TestRetryDeadline:
+    def test_deadline_budget_bounds_planned_backoff(self, small_dataset):
+        sleeps = []
+        svc = make_service(
+            small_dataset,
+            overflow="raise",
+            batch_size=4,
+            capacity=4,
+            sleep_fn=sleeps.append,
+            ingest_retries=10,
+            ingest_backoff_seconds=0.002,
+            retry_deadline_seconds=0.005,
+        )
+        edges = list(small_dataset.stream)
+        svc.queue.pause()
+        for e in edges[:4]:
+            assert svc.ingest(e)  # queue now full
+        with pytest.raises(BackpressureError):
+            svc.ingest_with_retry(edges[4])
+        # planned backoff: 0.002 fits the 0.005 budget, 0.002 + 0.004
+        # would exceed it — exactly one sleep, then exhaustion
+        assert sleeps == [0.002]
+        assert svc.metrics.counter("retry.exhausted").value == 1
+
+    def test_attempt_budget_still_applies(self, small_dataset):
+        sleeps = []
+        svc = make_service(
+            small_dataset,
+            overflow="raise",
+            batch_size=4,
+            capacity=4,
+            sleep_fn=sleeps.append,
+            ingest_retries=2,
+            ingest_backoff_seconds=0.001,
+            retry_deadline_seconds=10.0,
+        )
+        edges = list(small_dataset.stream)
+        svc.queue.pause()
+        for e in edges[:4]:
+            assert svc.ingest(e)
+        with pytest.raises(BackpressureError):
+            svc.ingest_with_retry(edges[4])
+        assert sleeps == [0.001, 0.002]  # retries bound it before the deadline
+        assert svc.metrics.counter("retry.exhausted").value == 1
+
+
+class TestShedAccounting:
+    def test_shed_counts_separately_from_malformed(self, small_dataset):
+        svc = make_service(
+            small_dataset,
+            batch_size=4,
+            capacity=8,
+            admission=AdmissionConfig(
+                depth_highwater=0.25, depth_lowwater=0.1
+            ),
+        )
+        edges = list(small_dataset.stream)
+        svc.queue.pause()
+        # malformed first, while admission is still calm: it must land
+        # in ``rejected``, never in ``shed``
+        assert not svc.ingest(StreamEdge(0, 5, "click", math.nan))
+        svc.ingest(edges[0])
+        svc.ingest(edges[1])
+        assert not svc.ingest(edges[2])  # shed: reject
+        assert svc.queue.shed == 1
+        assert svc.queue.rejected == 1
+        by_reason = svc.queue.deadletters_by_reason()
+        assert by_reason["shed"] == 1
+        assert by_reason["malformed"] == 1
+        assert svc.metrics.counter("ingest.shed").value == 1
+        assert svc.metrics.counter("ingest.rejected").value == 1
